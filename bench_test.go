@@ -1,0 +1,310 @@
+package wfs
+
+// One testing.B benchmark per experiment of the reproduction index
+// (DESIGN.md §5). The wfsbench tool prints the same sweeps as tables with
+// derived columns; these benches make the raw timings reproducible via
+// `go test -bench=. -benchmem`.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/bench"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/program"
+	"repro/internal/strat"
+	"repro/internal/term"
+)
+
+func mustCompile(b *testing.B, src string) (*program.Program, program.Database, *atom.Store) {
+	b.Helper()
+	st := atom.NewStore(term.NewStore())
+	prog, db, _, err := program.CompileText(src, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog, db, st
+}
+
+// BenchmarkE1DataComplexityWinMove — Thm. 13/14(3): PTIME data complexity.
+// Time per evaluation should scale near-linearly with |D|.
+func BenchmarkE1DataComplexityWinMove(b *testing.B) {
+	for _, n := range []int{512, 1024, 2048, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := bench.WinMoveRandom(n, 2*n, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog, db, _ := mustCompile(b, src)
+				core.NewEngine(prog, db, core.Options{}).Evaluate()
+			}
+		})
+	}
+}
+
+// BenchmarkE1DataComplexityEmployment — the Example 2 family scaled.
+func BenchmarkE1DataComplexityEmployment(b *testing.B) {
+	for _, n := range []int{300, 600, 1200} {
+		b.Run(fmt.Sprintf("persons=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := atom.NewStore(term.NewStore())
+				prog, db, err := bench.EmploymentFamily(n).Compile(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.NewEngine(prog, db, core.Options{}).Evaluate()
+			}
+		})
+	}
+}
+
+// BenchmarkE2CombinedComplexity — Thm. 13 EXPTIME (bounded arity): time
+// grows exponentially with the number of rules in the ExpChase family.
+func BenchmarkE2CombinedComplexity(b *testing.B) {
+	for _, k := range []int{6, 8, 10, 12} {
+		b.Run(fmt.Sprintf("rules=%d", 2*k), func(b *testing.B) {
+			src := bench.ExpChase(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog, db, _ := mustCompile(b, src)
+				core.NewEngine(prog, db, core.Options{Depth: k + 2}).Evaluate()
+			}
+		})
+	}
+}
+
+// BenchmarkE3ArityScaling — Thm. 13 2-EXPTIME (unbounded arity): the w!
+// universe of the permutation family.
+func BenchmarkE3ArityScaling(b *testing.B) {
+	for _, w := range []int{3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			src := bench.PermFamily(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog, db, _ := mustCompile(b, src)
+				core.NewEngine(prog, db, core.Options{Depth: w*w + 2, MaxAtoms: 8_000_000}).Evaluate()
+			}
+		})
+	}
+}
+
+// BenchmarkE4TransfiniteIteration — Ex. 9: deeper truncations need more
+// fixpoint rounds (the ŴP,ω+2 shadow).
+func BenchmarkE4TransfiniteIteration(b *testing.B) {
+	for _, d := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("depth=%d", d), func(b *testing.B) {
+			prog, db, _ := mustCompile(b, bench.Example4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewEngine(prog, db, core.Options{Depth: d}).EvaluateAtDepth(d)
+			}
+		})
+	}
+}
+
+// BenchmarkE5StratifiedCoincidence — WFS vs the stratified baseline on the
+// same stratified program: the overhead of the alternating fixpoint.
+func BenchmarkE5StratifiedCoincidence(b *testing.B) {
+	src := bench.StratifiedFamily(2000)
+	b.Run("wfs", func(b *testing.B) {
+		prog, db, _ := mustCompile(b, src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(prog, db, core.Options{}).EvaluateAtDepth(core.DefaultDepth)
+		}
+	})
+	b.Run("stratified", func(b *testing.B) {
+		prog, db, _ := mustCompile(b, src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := strat.Evaluate(prog, db, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6PositiveCoincidence — WFS vs the bare chase on positive
+// guarded Datalog±.
+func BenchmarkE6PositiveCoincidence(b *testing.B) {
+	src := bench.ReachChain(4000)
+	b.Run("chase", func(b *testing.B) {
+		prog, db, _ := mustCompile(b, src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			chase.Run(prog, db, chase.Options{MaxDepth: 4002, MaxAtoms: 8_000_000})
+		}
+	})
+	b.Run("wfs", func(b *testing.B) {
+		prog, db, _ := mustCompile(b, src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(prog, db, core.Options{Depth: 4002, MaxAtoms: 8_000_000}).EvaluateAtDepth(4002)
+		}
+	})
+}
+
+// BenchmarkE7GoalDirected — §4 WCHECK: goal-directed membership vs the
+// saturated fixpoint on a many-component instance.
+func BenchmarkE7GoalDirected(b *testing.B) {
+	prog, db, st := mustCompile(b, bench.WinMoveComponents(200, 30))
+	m := core.NewEngine(prog, db, core.Options{}).Evaluate()
+	p, _ := st.LookupPred("win")
+	goal := st.Atom(p, []term.ID{st.Terms.Const("n0_0")})
+	b.Run("full-fixpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ground.AlternatingFixpoint(m.GP)
+		}
+	})
+	b.Run("wcheck", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.WCheck(goal)
+		}
+	})
+}
+
+// BenchmarkE8DepthStabilization — Prop. 12: adaptive answering of an NBCQ
+// including the deepening loop.
+func BenchmarkE8DepthStabilization(b *testing.B) {
+	prog, db, st := mustCompile(b, bench.Example4)
+	q, err := program.ParseQuery("? t(X).", st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := core.NewEngine(prog, db, core.Options{})
+		if ans, _ := e.Answer(q); ans != ground.True {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// BenchmarkE9DLLite — Ex. 2 at scale: ontology translation + WFS.
+func BenchmarkE9DLLite(b *testing.B) {
+	for _, n := range []int{30, 300, 3000} {
+		b.Run(fmt.Sprintf("persons=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := atom.NewStore(term.NewStore())
+				prog, db, err := bench.EmploymentFamily(n).Compile(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.NewEngine(prog, db, core.Options{}).Evaluate()
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks for the substrates ---
+
+func BenchmarkChaseExample4(b *testing.B) {
+	prog, db, _ := mustCompile(b, bench.Example4)
+	for i := 0; i < b.N; i++ {
+		chase.Run(prog, db, chase.Options{MaxDepth: 16, MaxAtoms: 1_000_000})
+	}
+}
+
+func BenchmarkAlternatingFixpoint(b *testing.B) {
+	prog, db, _ := mustCompile(b, bench.WinMoveRandom(2000, 4000, 7))
+	res := chase.Run(prog, db, chase.Options{MaxDepth: 8, MaxAtoms: 1_000_000})
+	gp := ground.FromChase(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ground.AlternatingFixpoint(gp)
+	}
+}
+
+func BenchmarkUnfoundedIteration(b *testing.B) {
+	prog, db, _ := mustCompile(b, bench.WinMoveRandom(500, 1000, 7))
+	res := chase.Run(prog, db, chase.Options{MaxDepth: 8, MaxAtoms: 1_000_000})
+	gp := ground.FromChase(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ground.UnfoundedIteration(gp)
+	}
+}
+
+func BenchmarkForwardProofIteration(b *testing.B) {
+	prog, db, _ := mustCompile(b, bench.WinMoveRandom(500, 1000, 7))
+	res := chase.Run(prog, db, chase.Options{MaxDepth: 8, MaxAtoms: 1_000_000})
+	gp := ground.FromChase(res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ground.ForwardProofIteration(gp)
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := bench.WinMoveRandom(1000, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := atom.NewStore(term.NewStore())
+		if _, _, _, err := program.CompileText(src, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryAnswering(b *testing.B) {
+	prog, db, st := mustCompile(b, bench.WinMoveRandom(2000, 4000, 9))
+	m := core.NewEngine(prog, db, core.Options{}).Evaluate()
+	q, err := program.ParseQuery("? move(X,Y), not win(Y).", st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Answer(q)
+	}
+}
+
+// BenchmarkE10AlgorithmAblation — the three equivalent WFS operators on
+// one bounded grounding.
+func BenchmarkE10AlgorithmAblation(b *testing.B) {
+	prog, db, _ := mustCompile(b, bench.WinMoveRandom(1500, 3000, 11))
+	res := chase.Run(prog, db, chase.Options{MaxDepth: 8, MaxAtoms: 1_000_000})
+	gp := ground.FromChase(res)
+	b.Run("alternating", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ground.AlternatingFixpoint(gp)
+		}
+	})
+	b.Run("unfounded-sets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ground.UnfoundedIteration(gp)
+		}
+	})
+	b.Run("forward-proofs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ground.ForwardProofIteration(gp)
+		}
+	})
+}
+
+// BenchmarkE11GoalDirectedAblation — saturate-everything vs the fully
+// goal-directed pipeline (relevance-restricted chase + local fixpoint).
+func BenchmarkE11GoalDirectedAblation(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(bench.WinMoveComponents(100, 30))
+	sb.WriteString("seed(X) -> chainA(X, Y).\nchainA(X, Y) -> chainB(Y, Z).\n")
+	for i := 0; i < 6000; i++ {
+		fmt.Fprintf(&sb, "seed(s%d).\n", i)
+	}
+	prog, db, st := mustCompile(b, sb.String())
+	p, _ := st.LookupPred("win")
+	goal := st.Atom(p, []term.ID{st.Terms.Const("n0_0")})
+	b.Run("saturate-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(prog, db, core.Options{Depth: 8}).EvaluateAtDepth(8)
+		}
+	})
+	b.Run("goal-directed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.WCheckGoalDirected(prog, db, goal, core.Options{Depth: 8})
+		}
+	})
+}

@@ -1,0 +1,31 @@
+// wfsbench regenerates the experiment tables E1–E9 that reproduce the
+// paper's theorems and worked examples (see DESIGN.md §5 for the index and
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	wfsbench [-quick] [E1 E4 ...]     # default: all experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.Experiments
+	}
+	for _, id := range ids {
+		if err := bench.Run(id, os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "wfsbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// wfsquery answers NBCQs over a guarded normal Datalog± program under the
+// well-founded semantics with UNA.
+//
+// Usage:
+//
+//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] file.dlg
+//
+// The program file may embed queries ('? lit, ….'); additional queries can
+// be passed with -query (repeatable). With -model, the tool also prints
+// the true and undefined atoms of the model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	wfs "repro"
+	"repro/internal/core"
+)
+
+type queryFlags []string
+
+func (q *queryFlags) String() string     { return strings.Join(*q, "; ") }
+func (q *queryFlags) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		depth     = flag.Int("depth", 0, "chase depth (0 = default)")
+		algorithm = flag.String("algorithm", "alt", "WFS algorithm: alt | unfounded | forward")
+		showModel = flag.Bool("model", false, "print true and undefined atoms")
+		verbose   = flag.Bool("v", false, "print adaptive-deepening traces")
+		explain   = flag.String("explain", "", "print a forward proof (Def. 5) of a ground atom, e.g. -explain 't(0)'")
+		queries   queryFlags
+	)
+	flag.Var(&queries, "query", "additional NBCQ (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wfsquery [flags] program.dlg")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := wfs.Options{Depth: *depth}
+	switch *algorithm {
+	case "alt":
+		opts.Algorithm = core.AltFixpoint
+	case "unfounded":
+		opts.Algorithm = core.UnfoundedSets
+	case "forward":
+		opts.Algorithm = core.ForwardProofs
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+	sys, err := wfs.LoadWithOptions(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, r := range sys.AnswerAll() {
+		fmt.Printf("%-50s %s\n", r.Query, r.Answer)
+	}
+	for _, qs := range queries {
+		ans, stats, err := sys.AnswerWithStats(qs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-50s %s\n", qs, ans)
+		if *verbose {
+			fmt.Printf("  depths=%v answers=%v exact=%v stable=%v\n",
+				stats.Depths, stats.Answers, stats.Exact, stats.Stable)
+		}
+	}
+
+	if *explain != "" {
+		tv, err := sys.TruthOf(*explain)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s is %s in WFS(D,Σ)\n", *explain, tv)
+		if out, ok := sys.ExplainAtom(*explain); ok {
+			fmt.Println("forward proof (Definition 5):")
+			fmt.Print(out)
+		} else {
+			fmt.Println("no forward proof with WFS-false negative hypotheses exists")
+		}
+	}
+
+	if vs := sys.CheckConstraints(); len(vs) > 0 {
+		fmt.Println("constraint violations:")
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+
+	if *showModel {
+		fmt.Println("true atoms:")
+		for _, a := range sys.TrueFacts() {
+			fmt.Printf("  %s\n", a)
+		}
+		if und := sys.UndefinedFacts(); len(und) > 0 {
+			fmt.Println("undefined atoms:")
+			for _, a := range und {
+				fmt.Printf("  %s\n", a)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfsquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// wfsrepl is an interactive shell for guarded normal Datalog± under the
+// well-founded semantics.
+//
+// Usage:
+//
+//	wfsrepl [program.dlg ...]        # load files, then read stdin
+//
+// Each input line is a statement:
+//
+//	p(a).                            add a fact or rule
+//	p(X), not q(X) -> r(X).          add a rule
+//	? r(a).                          answer an NBCQ (adaptive deepening)
+//	?? r(X).                         select answer tuples over constants
+//	:explain t(0)                    print a forward proof (Definition 5)
+//	:wcheck win(a)                   goal-directed membership check
+//	:model                           print true and undefined atoms
+//	:check                           evaluate constraints and EGDs
+//	:stats                           chase/model statistics
+//	:help                            this text
+//	:quit                            exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	wfs "repro"
+)
+
+const help = `statements:
+  fact or rule terminated by '.'    add to the program/database
+  ? lit, lit, ... .                 answer an NBCQ
+  ?? lit, lit, ... .                select answer tuples over constants
+commands:
+  :explain ATOM   forward proof of a true ground atom
+  :wcheck ATOM    goal-directed membership check
+  :model          print true and undefined atoms
+  :check          evaluate constraints and EGDs
+  :stats          chase/model statistics
+  :help           this text
+  :quit           exit`
+
+func main() {
+	var src strings.Builder
+	for _, f := range os.Args[1:] {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfsrepl:", err)
+			os.Exit(1)
+		}
+		src.Write(data)
+		src.WriteByte('\n')
+	}
+	sys, err := wfs.Load(src.String())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsrepl:", err)
+		os.Exit(1)
+	}
+	for _, r := range sys.AnswerAll() {
+		fmt.Printf("%-40s %s\n", r.Query, r.Answer)
+	}
+	repl(sys, src.String(), os.Stdin, os.Stdout)
+}
+
+func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
+	accumulated := base
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(out, "wfs> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#"):
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":help":
+			fmt.Fprintln(out, help)
+		case line == ":model":
+			fmt.Fprintln(out, "true atoms:")
+			for _, a := range sys.TrueFacts() {
+				fmt.Fprintln(out, " ", a)
+			}
+			if und := sys.UndefinedFacts(); len(und) > 0 {
+				fmt.Fprintln(out, "undefined atoms:")
+				for _, a := range und {
+					fmt.Fprintln(out, " ", a)
+				}
+			}
+		case line == ":check":
+			vs := sys.CheckConstraints()
+			if len(vs) == 0 {
+				fmt.Fprintln(out, "no violations")
+			}
+			for _, v := range vs {
+				fmt.Fprintln(out, " ", v)
+			}
+		case line == ":stats":
+			m := sys.Model()
+			stats := m.Chase.ComputeStats()
+			fmt.Fprintf(out, "chase: %s\n", stats)
+			fmt.Fprintf(out, "model: %d true, %d undefined, %d rounds, exact=%v\n",
+				m.GM.CountTrue(), m.GM.CountUndefined(), m.GM.Rounds, m.Exact)
+			fmt.Fprintf(out, "δ (Prop. 12) ≈ 2^%d\n", sys.DeltaBound().BitLen())
+		case strings.HasPrefix(line, ":explain "):
+			atomSrc := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+			tv, err := sys.TruthOf(atomSrc)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "%s is %s\n", atomSrc, tv)
+			if proof, ok := sys.ExplainAtom(atomSrc); ok {
+				fmt.Fprint(out, proof)
+			}
+		case strings.HasPrefix(line, ":wcheck "):
+			atomSrc := strings.TrimSpace(strings.TrimPrefix(line, ":wcheck"))
+			tv, stats, err := sys.WCheck(atomSrc)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "%s is %s (closure %d/%d atoms)\n",
+				atomSrc, tv, stats.ClosureAtoms, stats.TotalAtoms)
+		case strings.HasPrefix(line, "??"):
+			vars, rows, err := sys.Select(strings.TrimPrefix(line, "??"))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintln(out, strings.Join(vars, "\t"))
+			for _, row := range rows {
+				fmt.Fprintln(out, strings.Join(row, "\t"))
+			}
+			fmt.Fprintf(out, "(%d tuples)\n", len(rows))
+		case strings.HasPrefix(line, "?"):
+			ans, err := sys.Answer(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintln(out, ans)
+		case strings.HasPrefix(line, ":"):
+			fmt.Fprintln(out, "unknown command; :help for help")
+		default:
+			// A statement: rebuild the system with the new clause. This
+			// keeps the REPL simple and the engine caches consistent.
+			next := accumulated + "\n" + line
+			ns, err := wfs.Load(next)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			accumulated = next
+			sys = ns
+			fmt.Fprintln(out, "ok")
+		}
+		fmt.Fprint(out, "wfs> ")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	wfs "repro"
+)
+
+func run(t *testing.T, base, input string) string {
+	t.Helper()
+	sys, err := wfs.Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	repl(sys, base, strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestReplStatementsAndQueries(t *testing.T) {
+	out := run(t, "", `
+move(a,b).
+move(b,c).
+move(X,Y), not win(Y) -> win(X).
+? win(b).
+?? win(X).
+`)
+	if !strings.Contains(out, "true") {
+		t.Errorf("query answer missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 tuples)") || !strings.Contains(out, "b") {
+		t.Errorf("select output missing:\n%s", out)
+	}
+}
+
+func TestReplCommands(t *testing.T) {
+	base := "move(a,b).\nmove(X,Y), not win(Y) -> win(X).\n"
+	out := run(t, base, `
+:model
+:stats
+:check
+:wcheck win(a)
+:explain win(a)
+:help
+:nonsense
+`)
+	for _, want := range []string{
+		"true atoms:",
+		"chase: atoms=",
+		"no violations",
+		"win(a) is true (closure",
+		"negative hypotheses",
+		"commands:",
+		"unknown command",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplErrorsAndQuit(t *testing.T) {
+	out := run(t, "", `
+this is not valid syntax ->
+? alsobad(
+:quit
+p(a).
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("syntax error not surfaced:\n%s", out)
+	}
+	// :quit must stop processing: the trailing fact is never acknowledged.
+	if strings.Count(out, "ok") != 0 {
+		t.Errorf("input after :quit was processed:\n%s", out)
+	}
+}

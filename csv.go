@@ -1,0 +1,50 @@
+package wfs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/term"
+)
+
+// LoadCSV bulk-loads rows of a CSV stream as facts of the given predicate:
+// each record r1,…,rn becomes pred(r1,…,rn), with every field a constant.
+// All records must have the predicate's arity (fixed by the first record
+// if the predicate is new). Returns the number of facts added.
+func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	n := 0
+	var arity = -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("wfs: csv for %s: %w", pred, err)
+		}
+		if arity < 0 {
+			arity = len(rec)
+			if _, err := s.Store.Pred(pred, arity); err != nil {
+				return n, err
+			}
+		} else if len(rec) != arity {
+			return n, fmt.Errorf("wfs: csv for %s: record %d has %d fields, want %d",
+				pred, n+1, len(rec), arity)
+		}
+		p, err := s.Store.Pred(pred, arity)
+		if err != nil {
+			return n, err
+		}
+		args := make([]term.ID, arity)
+		for i, f := range rec {
+			args[i] = s.Store.Terms.Const(f)
+		}
+		s.DB = append(s.DB, s.Store.Atom(p, args))
+		n++
+	}
+	s.engine = nil
+	return n, nil
+}

@@ -1,0 +1,85 @@
+package wfs_test
+
+import (
+	"fmt"
+
+	wfs "repro"
+)
+
+// ExampleLoad shows the paper's Example 1: TBox axioms as guarded TGDs and
+// a BCQ answered under the well-founded semantics.
+func ExampleLoad() {
+	sys, err := wfs.Load(`
+		conferencePaper(X) -> article(X).
+		scientist(X)       -> isAuthorOf(X, Y).
+		scientist(john).
+	`)
+	if err != nil {
+		panic(err)
+	}
+	ans, _ := sys.Answer("? isAuthorOf(john, X).")
+	fmt.Println(ans)
+	// Output: true
+}
+
+// ExampleSystem_Answer demonstrates three-valued answers: the win-move
+// game yields true, false, and undefined positions.
+func ExampleSystem_Answer() {
+	sys, err := wfs.Load(`
+		move(a,b). move(b,c). move(d,e). move(e,d).
+		move(X,Y), not win(Y) -> win(X).
+	`)
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range []string{"? win(b).", "? win(c).", "? win(d)."} {
+		ans, _ := sys.Answer(q)
+		fmt.Println(q, "=>", ans)
+	}
+	// Output:
+	// ? win(b). => true
+	// ? win(c). => false
+	// ? win(d). => undefined
+}
+
+// ExampleSystem_Select shows non-Boolean answers: tuples over the
+// constants ∆ (bindings to labelled nulls are excluded, §2.1).
+func ExampleSystem_Select() {
+	sys, err := wfs.Load(`
+		person(ann). person(bob). employed(ann).
+		person(X), not employed(X) -> seeker(X).
+	`)
+	if err != nil {
+		panic(err)
+	}
+	vars, rows, _ := sys.Select("? seeker(X).")
+	fmt.Println(vars[0], "=", rows[0][0])
+	// Output: X = bob
+}
+
+// ExampleSystem_TruthOf demonstrates the UNA consequences of the paper's
+// Example 2: the employed person a gets an employee ID (a labelled null),
+// and that null is a ValidID because it cannot equal any job-seeker null.
+func ExampleSystem_TruthOf() {
+	sys, err := wfs.Load(`
+		employeeID(X, Y) -> ex_employeeID(X).
+		employeeID(X, Y) -> exinv_employeeID(Y).
+		jobSeekerID(X, Y) -> ex_jobSeekerID(X).
+		jobSeekerID(X, Y) -> exinv_jobSeekerID(Y).
+		person(X), employed(X), not ex_jobSeekerID(X) -> employeeID(X, Z).
+		person(X), not employed(X), not ex_employeeID(X) -> jobSeekerID(X, Z).
+		exinv_employeeID(X), not exinv_jobSeekerID(X) -> validID(X).
+		person(a). person(b). employed(a).
+	`)
+	if err != nil {
+		panic(err)
+	}
+	for _, q := range []string{"? employeeID(a, X).", "? jobSeekerID(b, X).", "? validID(X)."} {
+		ans, _ := sys.Answer(q)
+		fmt.Println(q, "=>", ans)
+	}
+	// Output:
+	// ? employeeID(a, X). => true
+	// ? jobSeekerID(b, X). => true
+	// ? validID(X). => true
+}

@@ -1,0 +1,58 @@
+// Winmove: the classic three-valued showcase of the well-founded
+// semantics — the game rule win(X) ← move(X,Y), ¬win(Y) — evaluated with
+// this reproduction's engine (the rule is guarded: move(X,Y) is the
+// guard), plus a demonstration of the goal-directed WCHECK (§4).
+//
+// Positions that can move to a lost position are won; positions all of
+// whose moves reach won positions are lost; positions whose status
+// depends on a cycle are undefined — exactly the three truth values of
+// the WFS.
+//
+// Run with: go run ./examples/winmove
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wfs "repro"
+)
+
+func main() {
+	sys, err := wfs.Load(`
+		move(X,Y), not win(Y) -> win(X).
+
+		% a chain: a -> b -> c (c is stuck)
+		move(a,b). move(b,c).
+		% a cycle: d <-> e (drawn by repetition)
+		move(d,e). move(e,d).
+		% a cycle with an escape: f <-> g, g -> h (g can force a win)
+		move(f,g). move(g,f). move(g,h).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("position status under the WFS:")
+	for _, p := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		tv, err := sys.TruthOf("win(" + p + ")")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  win(%s) = %s\n", p, tv)
+	}
+
+	// Goal-directed membership check: only the goal's dependency closure
+	// is evaluated.
+	tv, stats, err := sys.WCheck("win(b)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWCHECK(win(b)) = %s — closure %d/%d atoms, %d/%d rules\n",
+		tv, stats.ClosureAtoms, stats.TotalAtoms, stats.ClosureRules, stats.TotalRules)
+
+	fmt.Println("\nundefined atoms (drawn positions):")
+	for _, a := range sys.UndefinedFacts() {
+		fmt.Println(" ", a)
+	}
+}

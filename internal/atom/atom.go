@@ -1,0 +1,221 @@
+// Package atom implements the relational layer of the system: predicate
+// schemas, interned ground atoms, atom patterns with variables, and the
+// matching machinery used by the chase and by query evaluation (paper §2.1).
+//
+// Ground atoms are interned like terms: a ground atom P(t1,…,tn) has a
+// unique AtomID within a Store, so atom sets and indexes operate on dense
+// integers.
+package atom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// PredID identifies a predicate (relation name + arity) within a Store.
+type PredID int32
+
+// AtomID identifies an interned ground atom within a Store.
+type AtomID int32
+
+// NoAtom is the null atom ID, used as a sentinel.
+const NoAtom AtomID = -1
+
+type predData struct {
+	name  string
+	arity int
+}
+
+// Store interns predicates and ground atoms over a term store. Engines own
+// their atom store; it is not safe for concurrent mutation.
+type Store struct {
+	Terms *term.Store
+
+	preds   []predData
+	predIdx map[string]PredID
+
+	atoms    []atomData
+	atomIdx  map[string]AtomID
+	byPred   [][]AtomID // ground atoms per predicate, in interning order
+	argSpace []term.ID  // flat backing array for atom argument slices
+}
+
+type atomData struct {
+	pred PredID
+	off  int32
+	n    int32
+}
+
+// NewStore returns an empty atom store over the given term store.
+func NewStore(ts *term.Store) *Store {
+	return &Store{
+		Terms:   ts,
+		predIdx: make(map[string]PredID),
+		atomIdx: make(map[string]AtomID),
+	}
+}
+
+// Pred interns the predicate with the given name and arity. Predicates are
+// identified by name: re-interning a name with a different arity returns an
+// error, since the relational schema fixes one arity per relation name.
+func (s *Store) Pred(name string, arity int) (PredID, error) {
+	if id, ok := s.predIdx[name]; ok {
+		if got := s.preds[id].arity; got != arity {
+			return 0, fmt.Errorf("atom: predicate %s used with arity %d, previously %d", name, arity, got)
+		}
+		return id, nil
+	}
+	id := PredID(len(s.preds))
+	s.preds = append(s.preds, predData{name: name, arity: arity})
+	s.byPred = append(s.byPred, nil)
+	s.predIdx[name] = id
+	return id, nil
+}
+
+// MustPred is Pred for arities known to be consistent; it panics on schema
+// violations and is intended for programmatic construction in tests and
+// generators.
+func (s *Store) MustPred(name string, arity int) PredID {
+	id, err := s.Pred(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// LookupPred returns the ID of an already-interned predicate.
+func (s *Store) LookupPred(name string) (PredID, bool) {
+	id, ok := s.predIdx[name]
+	return id, ok
+}
+
+// PredName returns the relation name of p.
+func (s *Store) PredName(p PredID) string { return s.preds[p].name }
+
+// PredArity returns the arity of p.
+func (s *Store) PredArity(p PredID) int { return s.preds[p].arity }
+
+// NumPreds reports the number of interned predicates.
+func (s *Store) NumPreds() int { return len(s.preds) }
+
+// MaxArity reports the maximum arity over all interned predicates (the w of
+// Proposition 12), or 0 if no predicates exist.
+func (s *Store) MaxArity() int {
+	w := 0
+	for i := range s.preds {
+		if s.preds[i].arity > w {
+			w = s.preds[i].arity
+		}
+	}
+	return w
+}
+
+// Atom interns the ground atom p(args...) and returns its ID. All args must
+// be ground terms.
+func (s *Store) Atom(p PredID, args []term.ID) AtomID {
+	if want := s.preds[p].arity; len(args) != want {
+		panic(fmt.Sprintf("atom: %s applied to %d args, want %d", s.preds[p].name, len(args), want))
+	}
+	key := atomKey(p, args)
+	if id, ok := s.atomIdx[key]; ok {
+		return id
+	}
+	for _, a := range args {
+		if !s.Terms.IsGround(a) {
+			panic("atom: interning non-ground atom")
+		}
+	}
+	off := int32(len(s.argSpace))
+	s.argSpace = append(s.argSpace, args...)
+	id := AtomID(len(s.atoms))
+	s.atoms = append(s.atoms, atomData{pred: p, off: off, n: int32(len(args))})
+	s.atomIdx[key] = id
+	s.byPred[p] = append(s.byPred[p], id)
+	return id
+}
+
+// Lookup returns the ID of an already-interned ground atom, if present.
+func (s *Store) Lookup(p PredID, args []term.ID) (AtomID, bool) {
+	id, ok := s.atomIdx[atomKey(p, args)]
+	return id, ok
+}
+
+func atomKey(p PredID, args []term.ID) string {
+	buf := make([]byte, 4+4*len(args))
+	binary.LittleEndian.PutUint32(buf, uint32(p))
+	for i, a := range args {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(a))
+	}
+	return string(buf)
+}
+
+// Len reports the number of interned ground atoms.
+func (s *Store) Len() int { return len(s.atoms) }
+
+// PredOf returns the predicate of atom a.
+func (s *Store) PredOf(a AtomID) PredID { return s.atoms[a].pred }
+
+// Args returns the argument slice of atom a (do not mutate).
+func (s *Store) Args(a AtomID) []term.ID {
+	d := &s.atoms[a]
+	return s.argSpace[d.off : d.off+d.n]
+}
+
+// ByPred returns all interned atoms with predicate p, in interning order
+// (do not mutate). Note this includes every atom ever interned, which for
+// engine stores is exactly the derived universe.
+func (s *Store) ByPred(p PredID) []AtomID { return s.byPred[p] }
+
+// Dom returns the set of arguments of atom a (dom(a) in §2.1), with
+// duplicates removed, in first-occurrence order.
+func (s *Store) Dom(a AtomID) []term.ID {
+	args := s.Args(a)
+	out := make([]term.ID, 0, len(args))
+	for _, t := range args {
+		seen := false
+		for _, u := range out {
+			if u == t {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TermDepth returns the maximum Skolem-nesting depth over the arguments of
+// atom a; 0 if all arguments are constants.
+func (s *Store) TermDepth(a AtomID) int {
+	d := 0
+	for _, t := range s.Args(a) {
+		if td := s.Terms.Depth(t); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// String renders a ground atom as name(arg,…).
+func (s *Store) String(a AtomID) string {
+	var b strings.Builder
+	b.WriteString(s.preds[s.atoms[a].pred].name)
+	args := s.Args(a)
+	if len(args) == 0 {
+		return b.String()
+	}
+	b.WriteByte('(')
+	for i, t := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Terms.String(t))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/term"
+)
+
+// TestGeneratorsCompile: every generator must emit valid guarded normal
+// Datalog± (generator bugs panic inside compileMust).
+func TestGeneratorsCompile(t *testing.T) {
+	for name, src := range map[string]string{
+		"Example4":          Example4,
+		"WinMoveChain":      WinMoveChain(10),
+		"WinMoveCycle":      WinMoveCycle(7),
+		"WinMoveRandom":     WinMoveRandom(20, 40, 1),
+		"WinMoveComponents": WinMoveComponents(3, 4),
+		"ReachChain":        ReachChain(10),
+		"ExpChase":          ExpChase(4),
+		"PermFamily2":       PermFamily(2),
+		"PermFamily4":       PermFamily(4),
+		"StratifiedFamily":  StratifiedFamily(10),
+	} {
+		prog, db, _ := compileMust(src)
+		if prog == nil {
+			t.Errorf("%s produced a nil program", name)
+		}
+		if name != "Example4" && len(db) == 0 {
+			t.Errorf("%s produced an empty database", name)
+		}
+	}
+}
+
+func TestWinMoveChainSemantics(t *testing.T) {
+	// On a chain of even length n, v0 alternates: win at odd distance
+	// from the dead end.
+	prog, db, st := compileMust(WinMoveChain(4))
+	m := core.NewEngine(prog, db, core.Options{}).Evaluate()
+	wantTrue := map[string]bool{"v1": true, "v3": true} // odd distance from v4
+	p, _ := st.LookupPred("win")
+	for i := 0; i <= 4; i++ {
+		name := "v" + string(rune('0'+i))
+		c, ok := st.Terms.LookupConst(name)
+		if !ok {
+			continue
+		}
+		a, ok := st.Lookup(p, []term.ID{c})
+		got := ground.False
+		if ok {
+			got = m.Truth(a)
+		}
+		want := ground.False
+		if wantTrue[name] {
+			want = ground.True
+		}
+		if got != want {
+			t.Errorf("win(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestWinMoveCycleAllUndefined(t *testing.T) {
+	prog, db, _ := compileMust(WinMoveCycle(6))
+	m := core.NewEngine(prog, db, core.Options{}).Evaluate()
+	if got := m.GM.CountUndefined(); got != 6 {
+		t.Errorf("undefined = %d, want 6", got)
+	}
+}
+
+func TestExpChaseSize(t *testing.T) {
+	// ExpChase(k) derives exactly 2^(k+1) - 1 atoms.
+	for k := 2; k <= 6; k++ {
+		prog, db, _ := compileMust(ExpChase(k))
+		m := core.NewEngine(prog, db, core.Options{Depth: k + 2}).Evaluate()
+		want := 1<<(k+1) - 1
+		if got := m.GP.NumAtoms(); got != want {
+			t.Errorf("ExpChase(%d) atoms = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestPermFamilySize(t *testing.T) {
+	// PermFamily(w) derives exactly w! atoms (all permutations).
+	fact := []int{0, 1, 2, 6, 24, 120}
+	for w := 2; w <= 5; w++ {
+		prog, db, _ := compileMust(PermFamily(w))
+		m := core.NewEngine(prog, db, core.Options{Depth: w*w + 2}).Evaluate()
+		if got := m.GP.NumAtoms(); got != fact[w] {
+			t.Errorf("PermFamily(%d) atoms = %d, want %d", w, got, fact[w])
+		}
+	}
+}
+
+func TestEmploymentFamilyCounts(t *testing.T) {
+	st := atom.NewStore(term.NewStore())
+	prog, db, err := EmploymentFamily(9).Compile(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewEngine(prog, db, core.Options{}).Evaluate()
+	// Of 9 persons, 3 are employed (every third): 3 employee IDs, 6 job
+	// seeker IDs, 3 valid IDs.
+	if got := countTrueByPred(m, st, "employeeID"); got != 3 {
+		t.Errorf("employeeID = %d, want 3", got)
+	}
+	if got := countTrueByPred(m, st, "jobSeekerID"); got != 6 {
+		t.Errorf("jobSeekerID = %d, want 6", got)
+	}
+	if got := countTrueByPred(m, st, "validID"); got != 3 {
+		t.Errorf("validID = %d, want 3", got)
+	}
+}
+
+func TestStratifiedFamilyIsStratified(t *testing.T) {
+	prog, _, _ := compileMust(StratifiedFamily(6))
+	if _, ok := prog.Stratify(); !ok {
+		t.Errorf("StratifiedFamily is not stratified")
+	}
+}
+
+func TestWinMoveRandomDeterministic(t *testing.T) {
+	if WinMoveRandom(10, 20, 5) != WinMoveRandom(10, 20, 5) {
+		t.Errorf("same seed produced different graphs")
+	}
+	if WinMoveRandom(10, 20, 5) == WinMoveRandom(10, 20, 6) {
+		t.Errorf("different seeds produced identical graphs")
+	}
+}
+
+// TestExperimentsRunQuick smoke-tests every experiment table end to end.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	var sb strings.Builder
+	for _, id := range Experiments {
+		sb.Reset()
+		if err := Run(id, &sb, true); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "== "+id) || !strings.Contains(out, "claim:") {
+			t.Errorf("%s output malformed:\n%s", id, out)
+		}
+		if strings.Count(out, "\n") < 5 {
+			t.Errorf("%s produced no rows:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("E99", io.Discard, true); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+// TestE5NoMismatches asserts the E5 claim directly: the experiment's
+// mismatch column must be all zeros.
+func TestE5NoMismatches(t *testing.T) {
+	tab := E5StratifiedCoincidence(true)
+	for _, row := range tab.Rows {
+		if row[2] != "0" || row[3] != "0" {
+			t.Errorf("E5 row has mismatches/undefined: %v", row)
+		}
+	}
+}
+
+// TestE6NoDivergence asserts the E6 claim directly.
+func TestE6NoDivergence(t *testing.T) {
+	tab := E6PositiveCoincidence(true)
+	for _, row := range tab.Rows {
+		if row[2] != "0" || row[3] != "0" {
+			t.Errorf("E6 row diverges from chase: %v", row)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "T", Title: "test", Claim: "c", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.Note("n1")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: test", "claim: c", "2.50", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmploymentOntologyMatchesPaper(t *testing.T) {
+	src, err := EmploymentOntology().ToDatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "not ex_jobSeekerID(X) -> employeeID(X, Z)") {
+		t.Errorf("ontology translation drifted:\n%s", src)
+	}
+}

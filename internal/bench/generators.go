@@ -1,0 +1,183 @@
+// Package bench provides the workload generators and the experiment
+// harness that regenerate every "table/figure" of the paper — its
+// complexity theorems and worked examples (see DESIGN.md §5 for the
+// experiment index E1–E9 and EXPERIMENTS.md for recorded results).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dllite"
+)
+
+// Example4 is the paper's Example 4 program (surface syntax; the compiler
+// applies the functional transformation of Example 4's Σf).
+const Example4 = `
+r(0,0,1).
+p(0,0).
+r(X,Y,Z) -> r(X,Z,W).
+r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+r(X,Y,Z), not p(X,Y) -> q(Z).
+r(X,Y,Z), not p(X,Z) -> s(X).
+p(X,Y), not s(X) -> t(X).
+`
+
+// WinMoveRule is the classic well-founded negation benchmark rule.
+const WinMoveRule = "move(X,Y), not win(Y) -> win(X).\n"
+
+// WinMoveChain generates a win-move game on a path v0 → v1 → … → vn.
+func WinMoveChain(n int) string {
+	var b strings.Builder
+	b.WriteString(WinMoveRule)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "move(v%d, v%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// WinMoveCycle generates a win-move game on a cycle of length n (every
+// position undefined for even n).
+func WinMoveCycle(n int) string {
+	var b strings.Builder
+	b.WriteString(WinMoveRule)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "move(c%d, c%d).\n", i, (i+1)%n)
+	}
+	return b.String()
+}
+
+// WinMoveRandom generates a win-move game on a random graph with n nodes
+// and m edges (deterministic in seed).
+func WinMoveRandom(n, m int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString(WinMoveRule)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "move(v%d, v%d).\n", rng.Intn(n), rng.Intn(n))
+	}
+	return b.String()
+}
+
+// WinMoveComponents generates k disjoint win-move chains of length l each:
+// a many-component instance where goal-directed checking (E7) touches a
+// single component.
+func WinMoveComponents(k, l int) string {
+	var b strings.Builder
+	b.WriteString(WinMoveRule)
+	for c := 0; c < k; c++ {
+		for i := 0; i < l; i++ {
+			fmt.Fprintf(&b, "move(n%d_%d, n%d_%d).\n", c, i, c, i+1)
+		}
+	}
+	return b.String()
+}
+
+// ReachChain generates a positive guarded reachability program over a
+// chain of n edges (guarded Datalog± without negation, the [1] fragment).
+func ReachChain(n int) string {
+	var b strings.Builder
+	b.WriteString("start(v0).\n")
+	b.WriteString("start(X) -> reach(X).\n")
+	b.WriteString("reach(X), edge(X,Y) -> reach(Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(v%d, v%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// ExpChase generates a positive program whose chase has size 2^(k+1): k
+// levels with two existential rules each (a binary tree of nulls). Chase
+// size — and hence evaluation time — grows exponentially in the program
+// size 2k, the combined-complexity shape of Theorem 13 (E2).
+func ExpChase(k int) string {
+	var b strings.Builder
+	b.WriteString("lvl0(c).\n")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "lvl%d(X) -> lvl%d(Y).\n", i, i+1)
+		fmt.Fprintf(&b, "lvl%d(X) -> lvl%d(Z).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// PermFamily generates a positive program over a single arity-w predicate
+// whose chase enumerates all w! permutations of the initial tuple (a
+// rotation rule plus an adjacent transposition generate the symmetric
+// group). Universe growth is superexponential in w — the unbounded-arity
+// blow-up shape of Theorem 13 (E3).
+func PermFamily(w int) string {
+	vars := make([]string, w)
+	consts := make([]string, w)
+	for i := 0; i < w; i++ {
+		vars[i] = fmt.Sprintf("X%d", i+1)
+		consts[i] = fmt.Sprintf("c%d", i+1)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "p(%s).\n", strings.Join(consts, ","))
+	rot := append(append([]string{}, vars[1:]...), vars[0])
+	fmt.Fprintf(&b, "p(%s) -> p(%s).\n", strings.Join(vars, ","), strings.Join(rot, ","))
+	if w >= 2 {
+		swap := append([]string{}, vars...)
+		swap[0], swap[1] = swap[1], swap[0]
+		fmt.Fprintf(&b, "p(%s) -> p(%s).\n", strings.Join(vars, ","), strings.Join(swap, ","))
+	}
+	return b.String()
+}
+
+// EmploymentOntology builds the Example 2 DL-Lite_{R,⊓,not} ontology:
+//
+//	Person ⊓ Employed ⊓ not ∃JobSeekerID ⊑ ∃EmployeeID
+//	Person ⊓ not Employed ⊓ not ∃EmployeeID ⊑ ∃JobSeekerID
+//	∃EmployeeID⁻ ⊓ not ∃JobSeekerID⁻ ⊑ ValidID
+func EmploymentOntology() *dllite.Ontology {
+	o := dllite.New()
+	o.SubClass(dllite.Exists("EmployeeID"),
+		dllite.Pos(dllite.Atomic("Person")),
+		dllite.Pos(dllite.Atomic("Employed")),
+		dllite.Not(dllite.Exists("JobSeekerID")))
+	o.SubClass(dllite.Exists("JobSeekerID"),
+		dllite.Pos(dllite.Atomic("Person")),
+		dllite.Not(dllite.Atomic("Employed")),
+		dllite.Not(dllite.Exists("EmployeeID")))
+	o.SubClass(dllite.Atomic("ValidID"),
+		dllite.Pos(dllite.ExistsInv("EmployeeID")),
+		dllite.Not(dllite.ExistsInv("JobSeekerID")))
+	return o
+}
+
+// EmploymentFamily returns the Example 2 ontology populated with n
+// persons, every third one employed (a data-complexity family mixing
+// existentials and negation, E1/E9).
+func EmploymentFamily(n int) *dllite.Ontology {
+	o := EmploymentOntology()
+	for i := 0; i < n; i++ {
+		ind := fmt.Sprintf("p%d", i)
+		o.AssertConcept("Person", ind)
+		if i%3 == 0 {
+			o.AssertConcept("Employed", ind)
+		}
+	}
+	return o
+}
+
+// StratifiedFamily generates a stratified guarded program with negation
+// across strata over n persons (E5): stratum 0 derives employment from
+// contracts, stratum 1 derives seekers by negation, stratum 2 benefits.
+func StratifiedFamily(n int) string {
+	var b strings.Builder
+	b.WriteString("contract(X, Y) -> employed(X).\n")
+	b.WriteString("person(X), not employed(X) -> seeker(X).\n")
+	b.WriteString("seeker(X), not retired(X) -> benefits(X).\n")
+	b.WriteString("oldAge(X) -> retired(X).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "person(p%d).\n", i)
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&b, "contract(p%d, c%d).\n", i, i)
+		case 1:
+			fmt.Fprintf(&b, "oldAge(p%d).\n", i)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is an experiment result table in the shape the harness prints and
+// EXPERIMENTS.md records.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string
+	Claim  string // the paper claim this table checks
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = formatDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-text note printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "   claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintf(w, "   %s\n", b.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Timed runs f and returns its wall-clock duration.
+func Timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Ratio returns cur/prev as float (0 when prev is 0).
+func Ratio(cur, prev time.Duration) float64 {
+	if prev <= 0 {
+		return 0
+	}
+	return float64(cur) / float64(prev)
+}

@@ -1,0 +1,291 @@
+// Package chase implements the guarded chase forest F+(P) of §2.5 for
+// P = D ∪ Σf, bounded by a depth cap.
+//
+// Because every NTGD is guarded, the guard atom of a rule contains all
+// universally quantified variables: a ground rule instance is fully
+// determined by matching the guard against one derived atom, after which
+// all side atoms (positive and negative) are ground and need only
+// membership checks. The chase therefore runs per (rule, guard-atom) pair:
+// no joins are required, which is the algorithmic heart of guardedness.
+//
+// The package maintains two views:
+//
+//   - the atom-level derivation graph (Result): the set of derived atoms A
+//     with minimal forest depth and derivation level per atom, plus the
+//     deduplicated set of ground rule instances (the edge labels of F+(P)),
+//     which is exactly the finite ground normal program handed to the WFS
+//     engines; and
+//   - an explicit node-level forest (Forest), materialized on demand for
+//     inspection and for the wfschase tool, where — as in the paper — the
+//     same atom may label many nodes.
+//
+// Negative body atoms play no role in which children exist (F+(P) is the
+// chase of the positive part P+); they are recorded on the instances so
+// the WFS engines can evaluate them (Definition 5's negative hypotheses).
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/atom"
+	"repro/internal/program"
+)
+
+// Options bound the chase.
+type Options struct {
+	// MaxDepth is the forest-depth cap: atoms at depth ≥ MaxDepth are
+	// derived but not expanded (they guard no further rules). Depth 0 is
+	// the database.
+	MaxDepth int
+	// MaxAtoms caps the number of derived atoms as a safety valve; 0
+	// means no cap. If hit, Result.Truncated is set.
+	MaxAtoms int
+}
+
+// DefaultOptions are suitable for the examples and tests.
+func DefaultOptions() Options { return Options{MaxDepth: 8, MaxAtoms: 2_000_000} }
+
+// Instance is one ground rule instance r ∈ ground(P): an edge label of
+// F+(P) together with its negative body (§3, F+(P) relabeling).
+type Instance struct {
+	Rule *program.Rule
+	Head atom.AtomID
+	Pos  []atom.AtomID // guard first
+	Neg  []atom.AtomID
+}
+
+// Guard returns the ground guard atom of the instance.
+func (in *Instance) Guard() atom.AtomID { return in.Pos[0] }
+
+// Result is the bounded atom-level chase.
+type Result struct {
+	Prog *program.Program
+	DB   program.Database
+	Opts Options
+
+	// Atoms lists the derived universe in first-derivation order.
+	Atoms []atom.AtomID
+	// Instances lists deduplicated ground rule instances.
+	Instances []Instance
+	// Truncated reports that MaxAtoms stopped the chase early.
+	Truncated bool
+
+	depth []int32 // per AtomID: minimal forest depth, -1 = not derived
+	level []int32 // per AtomID: derivation level (upper bound), -1 = not derived
+
+	instByGuard map[atom.AtomID][]int32 // instance indexes by guard atom
+	instKey     map[instKey]struct{}
+	waiters     map[atom.AtomID][]waiter
+	queue       []atom.AtomID // atoms pending guard expansion
+	queued      []bool        // per AtomID: currently queued or already expanded at current depth
+}
+
+type instKey struct {
+	rule  int32
+	guard atom.AtomID
+}
+
+type waiter struct {
+	rule  *program.Rule
+	guard atom.AtomID
+}
+
+// Run chases db under prog up to the option bounds.
+func Run(prog *program.Program, db program.Database, opts Options) *Result {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 1
+	}
+	r := &Result{
+		Prog:        prog,
+		DB:          db,
+		Opts:        opts,
+		instByGuard: make(map[atom.AtomID][]int32),
+		instKey:     make(map[instKey]struct{}),
+		waiters:     make(map[atom.AtomID][]waiter),
+	}
+	for _, a := range db {
+		r.derive(a, 0, 0)
+	}
+	// Program facts (rules with empty bodies) are database atoms too.
+	for _, rule := range prog.Rules {
+		if rule.IsFact() && len(rule.Exist) == 0 {
+			sub := atom.NewSubst(rule.NumVars)
+			a := prog.Store.Instantiate(rule.Head, sub)
+			r.derive(a, 0, 0)
+		}
+	}
+	r.run()
+	return r
+}
+
+func (r *Result) ensure(a atom.AtomID) {
+	for int(a) >= len(r.depth) {
+		r.depth = append(r.depth, -1)
+		r.level = append(r.level, -1)
+		r.queued = append(r.queued, false)
+	}
+}
+
+// Derived reports whether a is in the derived universe A.
+func (r *Result) Derived(a atom.AtomID) bool {
+	return int(a) < len(r.depth) && r.depth[a] >= 0
+}
+
+// Depth returns the minimal forest depth of a, or -1 if underived.
+func (r *Result) Depth(a atom.AtomID) int {
+	if int(a) >= len(r.depth) {
+		return -1
+	}
+	return int(r.depth[a])
+}
+
+// Level returns the derivation level (an upper bound on levelP, exact for
+// first derivations) of a, or -1 if underived.
+func (r *Result) Level(a atom.AtomID) int {
+	if int(a) >= len(r.level) {
+		return -1
+	}
+	return int(r.level[a])
+}
+
+// InstancesByGuard returns the indexes into Instances guarded by atom a.
+func (r *Result) InstancesByGuard(a atom.AtomID) []int32 { return r.instByGuard[a] }
+
+// derive records atom a at the given depth and level, enqueueing it for
+// guard expansion when it is new or its depth decreased below the cap.
+func (r *Result) derive(a atom.AtomID, depth, level int32) {
+	r.ensure(a)
+	if r.depth[a] < 0 {
+		r.depth[a] = depth
+		r.level[a] = level
+		r.Atoms = append(r.Atoms, a)
+		if int(depth) < r.Opts.MaxDepth {
+			r.enqueue(a)
+		}
+		// Wake instances waiting on a as a side atom.
+		if ws := r.waiters[a]; len(ws) > 0 {
+			delete(r.waiters, a)
+			for _, w := range ws {
+				r.tryApply(w.rule, w.guard)
+			}
+		}
+		return
+	}
+	if depth < r.depth[a] {
+		wasExpandable := int(r.depth[a]) < r.Opts.MaxDepth
+		r.depth[a] = depth
+		if !wasExpandable && int(depth) < r.Opts.MaxDepth {
+			r.enqueue(a)
+		}
+		// Cascade the decrease to heads derived through a as guard.
+		for _, ii := range r.instByGuard[a] {
+			in := &r.Instances[ii]
+			if nd := depth + 1; nd < r.depth[in.Head] {
+				r.derive(in.Head, nd, r.level[in.Head])
+			}
+		}
+	}
+	if level < r.level[a] {
+		r.level[a] = level
+	}
+}
+
+func (r *Result) enqueue(a atom.AtomID) {
+	if r.queued[a] {
+		return
+	}
+	r.queued[a] = true
+	r.queue = append(r.queue, a)
+}
+
+func (r *Result) run() {
+	for len(r.queue) > 0 {
+		if r.Opts.MaxAtoms > 0 && len(r.Atoms) >= r.Opts.MaxAtoms {
+			r.Truncated = true
+			return
+		}
+		a := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		r.queued[a] = false
+		for _, rule := range r.Prog.RulesGuardedBy(r.Prog.Store.PredOf(a)) {
+			r.tryApply(rule, a)
+		}
+	}
+}
+
+// tryApply matches rule's guard against guard atom g; if the ground side
+// atoms are all derived, the instance fires, otherwise it parks on the
+// first missing side atom.
+func (r *Result) tryApply(rule *program.Rule, g atom.AtomID) {
+	key := instKey{rule: int32(rule.Idx), guard: g}
+	if _, done := r.instKey[key]; done {
+		return
+	}
+	st := r.Prog.Store
+	sub := atom.NewSubst(rule.NumVars)
+	var trail []int32
+	if !st.Match(rule.GuardAtom(), g, sub, &trail) {
+		return
+	}
+	// All side atoms are ground now; intern and check membership.
+	pos := make([]atom.AtomID, 0, len(rule.PosBody))
+	pos = append(pos, g)
+	maxLevel := r.level[g]
+	for i, p := range rule.PosBody {
+		if i == rule.Guard {
+			continue
+		}
+		sa := st.Instantiate(p, sub)
+		r.ensure(sa)
+		pos = append(pos, sa)
+		if r.depth[sa] < 0 {
+			// Park: retry when sa is derived.
+			r.waiters[sa] = append(r.waiters[sa], waiter{rule: rule, guard: g})
+			return
+		}
+		if r.level[sa] > maxLevel {
+			maxLevel = r.level[sa]
+		}
+	}
+	neg := make([]atom.AtomID, 0, len(rule.NegBody))
+	for _, p := range rule.NegBody {
+		na := st.Instantiate(p, sub)
+		r.ensure(na)
+		neg = append(neg, na)
+	}
+	head := r.Prog.InstantiateHead(rule, sub, &trail)
+	r.ensure(head)
+	r.instKey[key] = struct{}{}
+	ii := int32(len(r.Instances))
+	r.Instances = append(r.Instances, Instance{Rule: rule, Head: head, Pos: pos, Neg: neg})
+	r.instByGuard[g] = append(r.instByGuard[g], ii)
+	r.derive(head, r.depth[g]+1, maxLevel+1)
+}
+
+// Stats summarizes a chase result.
+type Stats struct {
+	Atoms        int
+	Instances    int
+	MaxDepth     int
+	MaxTermDepth int
+	Truncated    bool
+}
+
+// Stats computes summary statistics.
+func (r *Result) ComputeStats() Stats {
+	s := Stats{Atoms: len(r.Atoms), Instances: len(r.Instances), Truncated: r.Truncated}
+	for _, a := range r.Atoms {
+		if d := r.Depth(a); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		if td := r.Prog.Store.TermDepth(a); td > s.MaxTermDepth {
+			s.MaxTermDepth = td
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("atoms=%d instances=%d maxDepth=%d maxTermDepth=%d truncated=%v",
+		s.Atoms, s.Instances, s.MaxDepth, s.MaxTermDepth, s.Truncated)
+}

@@ -1,0 +1,302 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+func compile(t *testing.T, src string) (*program.Program, program.Database, *atom.Store) {
+	t.Helper()
+	st := atom.NewStore(term.NewStore())
+	prog, db, _, err := program.CompileText(src, st)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, db, st
+}
+
+const example4 = `
+r(0,0,1).
+p(0,0).
+r(X,Y,Z) -> r(X,Z,W).
+r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+r(X,Y,Z), not p(X,Y) -> q(Z).
+r(X,Y,Z), not p(X,Z) -> s(X).
+p(X,Y), not s(X) -> t(X).
+`
+
+func TestChaseDerivesExample6Universe(t *testing.T) {
+	prog, db, st := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 3, MaxAtoms: 10_000})
+
+	// Example 6's F+(P) to depth 3 contains the R-chain, P-chain, the
+	// Q atoms, S(0), and T(0).
+	want := []string{
+		"r(0,0,1)", "p(0,0)",
+		"p(0,1)", "q(1)", "s(0)", "t(0)",
+	}
+	derived := map[string]bool{}
+	for _, a := range res.Atoms {
+		derived[st.String(a)] = true
+	}
+	for _, w := range want {
+		if !derived[w] {
+			t.Errorf("atom %s not derived; universe: %v", w, keys(derived))
+		}
+	}
+	// Atoms beyond the depth bound must not appear: the chain member at
+	// depth 4 is absent.
+	stats := res.ComputeStats()
+	if stats.MaxDepth > 3 {
+		t.Errorf("MaxDepth = %d, want ≤ 3", stats.MaxDepth)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestDepthsAndLevels(t *testing.T) {
+	prog, db, st := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 4, MaxAtoms: 10_000})
+
+	c0 := st.Terms.Const("0")
+	c1 := st.Terms.Const("1")
+	rp, _ := st.LookupPred("r")
+	pp, _ := st.LookupPred("p")
+
+	r001, _ := st.Lookup(rp, []term.ID{c0, c0, c1})
+	if res.Depth(r001) != 0 || res.Level(r001) != 0 {
+		t.Errorf("database atom depth/level = %d/%d, want 0/0",
+			res.Depth(r001), res.Level(r001))
+	}
+	p01, ok := st.Lookup(pp, []term.ID{c0, c1})
+	if !ok || !res.Derived(p01) {
+		t.Fatalf("p(0,1) not derived")
+	}
+	if res.Depth(p01) != 1 {
+		t.Errorf("depth(p(0,1)) = %d, want 1", res.Depth(p01))
+	}
+}
+
+func TestInstanceExtraction(t *testing.T) {
+	prog, db, st := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 2, MaxAtoms: 10_000})
+
+	// Each instance must be guarded by its first positive atom and be
+	// fully ground.
+	for i := range res.Instances {
+		in := &res.Instances[i]
+		if in.Guard() != in.Pos[0] {
+			t.Fatalf("instance guard mismatch")
+		}
+		if len(in.Pos) != len(in.Rule.PosBody) || len(in.Neg) != len(in.Rule.NegBody) {
+			t.Errorf("instance body sizes do not match rule %d", in.Rule.Idx)
+		}
+	}
+	// The rule p(X,Y), not s(X) -> t(X) instance from p(0,0) must carry
+	// the negative body atom s(0).
+	sp, _ := st.LookupPred("s")
+	tp, _ := st.LookupPred("t")
+	c0 := st.Terms.Const("0")
+	s0, _ := st.Lookup(sp, []term.ID{c0})
+	t0, _ := st.Lookup(tp, []term.ID{c0})
+	found := false
+	for i := range res.Instances {
+		in := &res.Instances[i]
+		if in.Head == t0 && len(in.Neg) == 1 && in.Neg[0] == s0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("t(0) instance with negative hypothesis s(0) missing")
+	}
+}
+
+func TestInstanceDeduplication(t *testing.T) {
+	// Two facts guard the same rule; every (rule, guard atom) pair fires
+	// exactly once even though s(0) labels several forest nodes.
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 6, MaxAtoms: 10_000})
+	seen := map[[2]int32]bool{}
+	for i := range res.Instances {
+		in := &res.Instances[i]
+		key := [2]int32{int32(in.Rule.Idx), int32(in.Guard())}
+		if seen[key] {
+			t.Fatalf("duplicate instance for rule %d guard %d", in.Rule.Idx, in.Guard())
+		}
+		seen[key] = true
+	}
+}
+
+func TestSideAtomWaiting(t *testing.T) {
+	// The side atom q(a) for the second rule only appears after rule 1
+	// fires, so the (rule, guard) application must be retried: this
+	// exercises the waiter queue.
+	src := `
+base(a).
+base(X) -> q(X).
+base(X), q(X) -> r(X).
+`
+	prog, db, st := compile(t, src)
+	res := Run(prog, db, Options{MaxDepth: 4, MaxAtoms: 1000})
+	rp, _ := st.LookupPred("r")
+	ca := st.Terms.Const("a")
+	ra, ok := st.Lookup(rp, []term.ID{ca})
+	if !ok || !res.Derived(ra) {
+		t.Fatalf("r(a) not derived despite side atom becoming available")
+	}
+}
+
+func TestSideAtomNeverAvailable(t *testing.T) {
+	src := `
+base(a).
+base(X), missing(X) -> r(X).
+missing(b).
+`
+	prog, db, st := compile(t, src)
+	res := Run(prog, db, Options{MaxDepth: 4, MaxAtoms: 1000})
+	rp, _ := st.LookupPred("r")
+	ca := st.Terms.Const("a")
+	if a, ok := st.Lookup(rp, []term.ID{ca}); ok && res.Derived(a) {
+		t.Errorf("r(a) derived despite missing(a) being absent")
+	}
+}
+
+func TestMaxAtomsTruncation(t *testing.T) {
+	prog, db, _ := compile(t, "seed(c).\nseed(X) -> seed(Y).")
+	res := Run(prog, db, Options{MaxDepth: 1 << 20, MaxAtoms: 50})
+	if !res.Truncated {
+		t.Errorf("truncation flag not set")
+	}
+	if len(res.Atoms) > 60 {
+		t.Errorf("chase overshot the atom cap: %d", len(res.Atoms))
+	}
+}
+
+func TestChaseSaturatesOnFiniteProgram(t *testing.T) {
+	prog, db, _ := compile(t, `
+edge(a,b). edge(b,c). start(a).
+start(X) -> reach(X).
+reach(X), edge(X,Y) -> reach(Y).
+`)
+	res := Run(prog, db, Options{MaxDepth: 100, MaxAtoms: 10_000})
+	stats := res.ComputeStats()
+	if stats.Truncated {
+		t.Errorf("finite chase truncated")
+	}
+	if stats.MaxDepth >= 100 {
+		t.Errorf("finite chase hit the depth cap")
+	}
+	if stats.Atoms != 6 { // 3 facts + reach(a), reach(b), reach(c)
+		t.Errorf("atoms = %d, want 6", stats.Atoms)
+	}
+}
+
+func TestConstantsInRuleBodies(t *testing.T) {
+	prog, db, st := compile(t, `
+p(a, b). p(b, c).
+p(a, X) -> special(X).
+`)
+	res := Run(prog, db, Options{MaxDepth: 3, MaxAtoms: 100})
+	sp, _ := st.LookupPred("special")
+	cb := st.Terms.Const("b")
+	cc := st.Terms.Const("c")
+	if a, ok := st.Lookup(sp, []term.ID{cb}); !ok || !res.Derived(a) {
+		t.Errorf("special(b) not derived")
+	}
+	if a, ok := st.Lookup(sp, []term.ID{cc}); ok && res.Derived(a) {
+		t.Errorf("special(c) derived despite guard constant mismatch")
+	}
+}
+
+func TestForestMatchesExample6Shape(t *testing.T) {
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 3, MaxAtoms: 10_000})
+	f := res.BuildForest(3, 1000)
+
+	// Two roots: r(0,0,1) and p(0,0).
+	if len(f.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(f.Roots))
+	}
+	dump := f.Dump()
+	// Example 6's figure: infinitely many S(0)-labeled nodes — at least
+	// 3 within depth 3 — and T(0) both under p(0,0) and under p(0,1).
+	if got := strings.Count(dump, "s(0)"); got < 3 {
+		t.Errorf("forest shows %d s(0) nodes, want ≥ 3\n%s", got, dump)
+	}
+	if got := strings.Count(dump, "t(0)"); got < 2 {
+		t.Errorf("forest shows %d t(0) nodes, want ≥ 2\n%s", got, dump)
+	}
+}
+
+func TestForestNodeCap(t *testing.T) {
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 6, MaxAtoms: 10_000})
+	f := res.BuildForest(6, 10)
+	if !f.Truncated {
+		t.Errorf("node cap not reported")
+	}
+	if len(f.Nodes) > 10 {
+		t.Errorf("forest exceeded node cap: %d", len(f.Nodes))
+	}
+}
+
+func TestNodesLabeled(t *testing.T) {
+	prog, db, st := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 3, MaxAtoms: 10_000})
+	f := res.BuildForest(3, 1000)
+	sp, _ := st.LookupPred("s")
+	c0 := st.Terms.Const("0")
+	s0, _ := st.Lookup(sp, []term.ID{c0})
+	if got := len(f.NodesLabeled(s0)); got < 3 {
+		t.Errorf("NodesLabeled(s(0)) = %d, want ≥ 3", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	prog, db, _ := compile(t, "p(a).")
+	res := Run(prog, db, Options{MaxDepth: 2})
+	if s := res.ComputeStats().String(); !strings.Contains(s, "atoms=1") {
+		t.Errorf("stats string: %s", s)
+	}
+}
+
+// TestLevelExceedsDepth: a node's derivation level (when it enters F_i,
+// §2.5) can exceed its forest depth (distance from a root) when a side
+// atom becomes available late — the distinction Example 9 turns on
+// (levelP(v) "is in general different from the depth of v").
+func TestLevelExceedsDepth(t *testing.T) {
+	src := `
+a(x).
+d0(x).
+d0(X) -> d1(X).
+d1(X) -> d2(X).
+d2(X) -> d3(X).
+a(X), d3(X) -> e(X).
+`
+	prog, db, st := compile(t, src)
+	res := Run(prog, db, Options{MaxDepth: 8, MaxAtoms: 1000})
+	ep, _ := st.LookupPred("e")
+	cx := st.Terms.Const("x")
+	ex, ok := st.Lookup(ep, []term.ID{cx})
+	if !ok || !res.Derived(ex) {
+		t.Fatalf("e(x) not derived")
+	}
+	// e(x) hangs under the guard a(x) (depth 0), so its depth is 1 — but
+	// it can only fire after d3(x) (level 3), so its level is 4.
+	if d := res.Depth(ex); d != 1 {
+		t.Errorf("depth(e(x)) = %d, want 1", d)
+	}
+	if l := res.Level(ex); l != 4 {
+		t.Errorf("level(e(x)) = %d, want 4", l)
+	}
+}

@@ -1,0 +1,283 @@
+// Package core implements the paper's primary contribution: the standard
+// well-founded semantics for guarded normal Datalog± under the unique name
+// assumption (Definition 3), decidable NBCQ answering over it (§4), the
+// goal-directed membership check WCHECK, and the Proposition 12 depth
+// bound δ.
+//
+// The evaluation pipeline is: bounded guarded chase of P+ = (D ∪ Σf)+
+// (package chase) → finite ground normal program (package ground) → one of
+// four WFS fixpoint algorithms → three-valued model over the derived
+// universe, with every atom outside the universe false (it has no forward
+// proof within the bound, Definition 5). Proposition 12 guarantees a finite
+// sufficient depth n·δ for NBCQ answering; because δ is astronomically
+// large, the engine answers queries by adaptive deepening with a
+// stabilization window, and reports exactness whenever the chase saturates
+// below the bound (in which case the computed model is the genuine
+// well-founded model restricted to the relevant atoms).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atom"
+	"repro/internal/chase"
+	"repro/internal/ground"
+	"repro/internal/program"
+)
+
+// Algorithm selects which of the four equivalent WFS fixpoint algorithms
+// evaluates the ground program.
+type Algorithm int
+
+const (
+	// AltFixpoint is the van Gelder alternating fixpoint (default,
+	// fastest).
+	AltFixpoint Algorithm = iota
+	// UnfoundedSets iterates WP = TP ∪ ¬.UP literally (§2.6).
+	UnfoundedSets
+	// ForwardProofs iterates the ŴP operator of Definition 7.
+	ForwardProofs
+	// Remainder computes the Brass–Dix program remainder (residual
+	// program) — a fourth independent algorithm used for cross-checking.
+	Remainder
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AltFixpoint:
+		return "alternating-fixpoint"
+	case UnfoundedSets:
+		return "unfounded-sets"
+	case ForwardProofs:
+		return "forward-proofs"
+	case Remainder:
+		return "remainder"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configure an Engine. The zero value selects defaults.
+type Options struct {
+	// Depth is the chase depth for Evaluate; 0 means DefaultDepth.
+	Depth int
+	// MaxAtoms caps the chase universe (safety valve); 0 means a large
+	// default.
+	MaxAtoms int
+	// Algorithm selects the WFS fixpoint algorithm.
+	Algorithm Algorithm
+
+	// Adaptive deepening (used by Answer): start depth, additive step,
+	// number of consecutive agreeing depths required, and the depth
+	// ceiling. Zero values select 4 / 2 / 2 / 24.
+	AdaptiveStart   int
+	AdaptiveStep    int
+	StabilityWindow int
+	MaxDepth        int
+
+	// GuardBand keeps query matching away from the chase frontier: when
+	// the chase did NOT saturate, homomorphisms may only use atoms of
+	// depth ≤ depth−GuardBand, since atoms at the frontier can lack
+	// children whose absence flips truth values (the locality issue that
+	// Lemmas 10/11 handle; see DESIGN.md §2). Zero selects 2. Ignored
+	// for exact (saturated) models.
+	GuardBand int
+}
+
+// DefaultDepth is the chase depth used by Evaluate when unset.
+const DefaultDepth = 8
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = DefaultDepth
+	}
+	if o.MaxAtoms <= 0 {
+		o.MaxAtoms = 4_000_000
+	}
+	if o.GuardBand <= 0 {
+		o.GuardBand = 2
+	}
+	if o.AdaptiveStart <= 0 {
+		o.AdaptiveStart = o.GuardBand + 2
+	}
+	if o.AdaptiveStep <= 0 {
+		o.AdaptiveStep = 2
+	}
+	if o.StabilityWindow <= 0 {
+		o.StabilityWindow = 2
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 24
+	}
+	return o
+}
+
+// Engine evaluates the well-founded semantics of a database under a
+// guarded normal Datalog± program.
+type Engine struct {
+	Prog *program.Program
+	DB   program.Database
+	Opts Options
+
+	cached *Model // model at Opts.Depth
+}
+
+// NewEngine creates an engine; opts zero-values select defaults.
+func NewEngine(prog *program.Program, db program.Database, opts Options) *Engine {
+	return &Engine{Prog: prog, DB: db, Opts: opts.withDefaults()}
+}
+
+// Model is the (bounded) well-founded model WFS(D, Σ): a three-valued
+// interpretation over the derived universe, with everything outside false.
+type Model struct {
+	Chase *chase.Result
+	GP    *ground.Program
+	GM    *ground.Model
+	// Exact reports that the chase saturated strictly below its depth
+	// bound without truncation, so this model is the true well-founded
+	// model on all atoms (no deeper chase can change anything).
+	Exact bool
+	// UsableDepth bounds the atoms query matching may use (see
+	// Options.GuardBand); negative when everything is usable.
+	UsableDepth int
+
+	truePerPred map[atom.PredID][]atom.AtomID // lazy index for joins
+	posPerPred  map[atom.PredID][]atom.AtomID // true ∪ undefined
+
+	ranks   []int32 // lazy: derivation ranks for Explain
+	support []int32 // lazy: supporting instance per true atom
+}
+
+// Evaluate computes (and caches) the model at the configured depth.
+func (e *Engine) Evaluate() *Model {
+	if e.cached == nil {
+		e.cached = e.EvaluateAtDepth(e.Opts.Depth)
+	}
+	return e.cached
+}
+
+// EvaluateAtDepth computes the model at an explicit chase depth.
+func (e *Engine) EvaluateAtDepth(depth int) *Model {
+	res := chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms})
+	gp := ground.FromChase(res)
+	var gm *ground.Model
+	switch e.Opts.Algorithm {
+	case UnfoundedSets:
+		gm = ground.UnfoundedIteration(gp)
+	case ForwardProofs:
+		gm = ground.ForwardProofIteration(gp)
+	case Remainder:
+		gm = ground.Remainder(gp)
+	default:
+		gm = ground.AlternatingFixpoint(gp)
+	}
+	stats := res.ComputeStats()
+	m := &Model{
+		Chase: res,
+		GP:    gp,
+		GM:    gm,
+		Exact: !res.Truncated && stats.MaxDepth < depth,
+	}
+	if m.Exact {
+		m.UsableDepth = -1
+	} else {
+		m.UsableDepth = depth - e.Opts.GuardBand
+	}
+	return m
+}
+
+// Truth returns the three-valued truth of a ground atom in the model;
+// atoms outside the derived universe are false.
+func (m *Model) Truth(a atom.AtomID) ground.Truth { return m.GM.TruthOfGlobal(a) }
+
+// TrueAtoms returns all true atoms, in derivation order.
+func (m *Model) TrueAtoms() []atom.AtomID {
+	var out []atom.AtomID
+	for i, g := range m.GP.Atoms {
+		if m.GM.Truth[i] == ground.True {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// UndefinedAtoms returns all undefined atoms, in derivation order.
+func (m *Model) UndefinedAtoms() []atom.AtomID {
+	var out []atom.AtomID
+	for i, g := range m.GP.Atoms {
+		if m.GM.Truth[i] == ground.Undefined {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (m *Model) buildIndexes() {
+	if m.truePerPred != nil {
+		return
+	}
+	st := m.Chase.Prog.Store
+	m.truePerPred = make(map[atom.PredID][]atom.AtomID)
+	m.posPerPred = make(map[atom.PredID][]atom.AtomID)
+	for i, g := range m.GP.Atoms {
+		if m.UsableDepth >= 0 && m.Chase.Depth(g) > m.UsableDepth {
+			continue // frontier guard band: see Options.GuardBand
+		}
+		switch m.GM.Truth[i] {
+		case ground.True:
+			p := st.PredOf(g)
+			m.truePerPred[p] = append(m.truePerPred[p], g)
+			m.posPerPred[p] = append(m.posPerPred[p], g)
+		case ground.Undefined:
+			p := st.PredOf(g)
+			m.posPerPred[p] = append(m.posPerPred[p], g)
+		}
+	}
+}
+
+// AnswerStats records how an adaptive answer was obtained.
+type AnswerStats struct {
+	Depths     []int          // depths evaluated
+	Answers    []ground.Truth // answer at each depth
+	FinalDepth int
+	Exact      bool // chase saturated: the answer is exact, not just stable
+	Stable     bool // answer met the stability window
+}
+
+// Answer evaluates an NBCQ by adaptive deepening: the chase depth grows
+// until the three-valued answer is unchanged for the configured window, or
+// the chase saturates (exact), or the ceiling is reached.
+func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats) {
+	stats := &AnswerStats{}
+	var last ground.Truth
+	agree := 0
+	for d := e.Opts.AdaptiveStart; d <= e.Opts.MaxDepth; d += e.Opts.AdaptiveStep {
+		m := e.EvaluateAtDepth(d)
+		ans := m.Answer(q)
+		stats.Depths = append(stats.Depths, d)
+		stats.Answers = append(stats.Answers, ans)
+		stats.FinalDepth = d
+		if m.Exact {
+			stats.Exact = true
+			stats.Stable = true
+			return ans, stats
+		}
+		if len(stats.Answers) > 1 && ans == last {
+			agree++
+			if agree >= e.Opts.StabilityWindow {
+				stats.Stable = true
+				return ans, stats
+			}
+		} else {
+			agree = 0
+		}
+		last = ans
+	}
+	return last, stats
+}
+
+// Holds reports whether the NBCQ is certainly satisfied (three-valued
+// answer True) at the engine's configured depth.
+func (e *Engine) Holds(q *program.Query) bool {
+	return e.Evaluate().Answer(q) == ground.True
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atom"
+	"repro/internal/ground"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+// Answer evaluates an NBCQ (§2.3) three-valuedly against the model:
+//
+//   - True: some homomorphism maps every positive literal to a true atom
+//     and every negative literal to a false atom (¬µ(b) ∈ WFS);
+//   - Undefined: not True, but some homomorphism keeps every positive
+//     literal at least undefined and every negative literal at most
+//     undefined (the query may hold in some completion);
+//   - False: otherwise.
+func (m *Model) Answer(q *program.Query) ground.Truth {
+	if q.Unsat {
+		return ground.False
+	}
+	if m.findHom(q.Pos, q.Neg, q.NumVars, true, nil) {
+		return ground.True
+	}
+	if m.findHom(q.Pos, q.Neg, q.NumVars, false, nil) {
+		return ground.Undefined
+	}
+	return ground.False
+}
+
+// Satisfies reports the certain (two-valued) answer: WFS(D,Σ) |= Q.
+func (m *Model) Satisfies(q *program.Query) bool {
+	return !q.Unsat && m.findHom(q.Pos, q.Neg, q.NumVars, true, nil)
+}
+
+// Select returns the certain answers of a non-Boolean query: the tuples of
+// bindings for the query's variables (in VarNames order) under which the
+// query certainly holds. Following §2.1, answers are tuples over the
+// constants ∆ — homomorphisms mapping a variable to a labelled null are
+// not answers. Tuples are deduplicated and ordered by the §2.1
+// lexicographic term order.
+func (m *Model) Select(q *program.Query) [][]term.ID {
+	if q.Unsat {
+		return nil
+	}
+	st := m.Chase.Prog.Store
+	seen := map[string]bool{}
+	var out [][]term.ID
+	m.findHom(q.Pos, q.Neg, q.NumVars, true, func(sub atom.Subst) bool {
+		tuple := make([]term.ID, q.NumVars)
+		for i := 0; i < q.NumVars; i++ {
+			t := sub[i]
+			if t == term.None || st.Terms.Kind(t) != term.Const {
+				return true // not a ∆-tuple; keep searching
+			}
+			tuple[i] = t
+		}
+		key := fmt.Sprint(tuple)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if c := st.Terms.Compare(out[i][k], out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Bindings enumerates the homomorphisms under which the query certainly
+// holds, invoking cb with the bound substitution; return false from cb to
+// stop early. The substitution is reused across calls: copy it if kept.
+func (m *Model) Bindings(q *program.Query, cb func(atom.Subst) bool) {
+	m.findHom(q.Pos, q.Neg, q.NumVars, true, cb)
+}
+
+// findHom backtracks over the positive patterns, using the per-predicate
+// truth indexes, then verifies negative patterns. In strict mode positive
+// atoms must be true and negative atoms false; otherwise positive atoms
+// must be at least undefined and negative atoms at most undefined.
+// If cb is nil, findHom reports whether any homomorphism exists; otherwise
+// it enumerates them until cb returns false.
+func (m *Model) findHom(pos, neg []atom.Pattern, numVars int, strict bool, cb func(atom.Subst) bool) bool {
+	m.buildIndexes()
+	st := m.Chase.Prog.Store
+	sub := atom.NewSubst(numVars)
+	var trail []int32
+	found := false
+
+	checkNeg := func() bool {
+		for _, p := range neg {
+			a, ok := st.InstantiateLookup(p, sub)
+			var t ground.Truth
+			if !ok {
+				t = ground.False // never derived: no forward proof
+			} else {
+				t = m.Truth(a)
+			}
+			if strict {
+				if t != ground.False {
+					return false
+				}
+			} else if t == ground.True {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pos) {
+			if !checkNeg() {
+				return true // keep searching
+			}
+			found = true
+			if cb == nil {
+				return false // stop: existence established
+			}
+			return cb(sub)
+		}
+		p := pos[i]
+		var cands []atom.AtomID
+		if strict {
+			cands = m.truePerPred[p.Pred]
+		} else {
+			cands = m.posPerPred[p.Pred]
+		}
+		for _, a := range cands {
+			mark := len(trail)
+			if st.Match(p, a, sub, &trail) {
+				if !rec(i + 1) {
+					atom.Undo(sub, &trail, mark)
+					return false
+				}
+				atom.Undo(sub, &trail, mark)
+			}
+		}
+		return true
+	}
+	rec(0)
+	return found
+}

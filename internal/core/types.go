@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/ground"
+	"repro/internal/term"
+)
+
+// AtomType is the (P-)type of an atom a (§3): the pair (a, S) where S
+// collects every literal ℓ of the well-founded model with
+// dom(ℓ) ⊆ dom(a). Types drive the paper's locality property: the truth of
+// everything below a chase node depends only on the type of its label
+// (Lemmas 10 and 11), and the finiteness of the type space (up to
+// X-isomorphism) yields the Proposition 12 depth bound.
+type AtomType struct {
+	Atom atom.AtomID
+	// Literals lists (atom, truth) for every model literal over dom(Atom),
+	// sorted by atom ID. Truth is True or False (undefined atoms
+	// contribute no literal, as in the paper's three-valued WFS(P)).
+	Literals []TypedLiteral
+}
+
+// TypedLiteral is one literal of a type's S-component.
+type TypedLiteral struct {
+	Atom  atom.AtomID
+	Truth ground.Truth
+}
+
+// TypeOf computes the type of an atom relative to the model. Only atoms of
+// the derived universe contribute positive literals; every universe atom
+// over dom(a) that is false contributes a negative literal. (Atoms outside
+// the universe are false too, but there are infinitely many; as in the
+// paper, S is restricted to the literals that exist in WFS(P) over the
+// known universe — sufficient for isomorphism checking because both sides
+// are restricted identically.)
+func (m *Model) TypeOf(a atom.AtomID) AtomType {
+	st := m.Chase.Prog.Store
+	dom := map[term.ID]bool{}
+	for _, t := range st.Dom(a) {
+		dom[t] = true
+	}
+	ty := AtomType{Atom: a}
+	for i, g := range m.GP.Atoms {
+		inDom := true
+		for _, t := range st.Args(g) {
+			if !dom[t] {
+				inDom = false
+				break
+			}
+		}
+		if !inDom {
+			continue
+		}
+		switch m.GM.Truth[i] {
+		case ground.True:
+			ty.Literals = append(ty.Literals, TypedLiteral{Atom: g, Truth: ground.True})
+		case ground.False:
+			ty.Literals = append(ty.Literals, TypedLiteral{Atom: g, Truth: ground.False})
+		}
+	}
+	sort.Slice(ty.Literals, func(i, j int) bool { return ty.Literals[i].Atom < ty.Literals[j].Atom })
+	return ty
+}
+
+// String renders a type as (a, {ℓ1, …, ℓk}).
+func (ty AtomType) String(st *atom.Store) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(st.String(ty.Atom))
+	b.WriteString(", {")
+	for i, l := range ty.Literals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if l.Truth == ground.False {
+			b.WriteString("¬")
+		}
+		b.WriteString(st.String(l.Atom))
+	}
+	b.WriteString("})")
+	return b.String()
+}
+
+// TypesIsomorphic reports whether two types are ∅-isomorphic (§3): whether
+// some bijection f from dom(a1) to dom(a2) maps a1 to a2 and the literal
+// set of one type onto the other. With X = ∅ the bijection is
+// unconstrained; use TypesXIsomorphic to pin elements of X.
+func (m *Model) TypesIsomorphic(a1, a2 atom.AtomID) bool {
+	return m.TypesXIsomorphic(a1, a2, nil)
+}
+
+// TypesXIsomorphic checks X-isomorphism of typeP(a1) and typeP(a2): the
+// bijection must fix every term in X (condition 2 of the §3 definition;
+// condition 1 — X-membership agreement between the domains — is implied
+// here because fixed points must appear on both sides to map at all).
+func (m *Model) TypesXIsomorphic(a1, a2 atom.AtomID, x []term.ID) bool {
+	st := m.Chase.Prog.Store
+	if st.PredOf(a1) != st.PredOf(a2) {
+		return false
+	}
+	d1, d2 := st.Dom(a1), st.Dom(a2)
+	if len(d1) != len(d2) {
+		return false
+	}
+	fixed := map[term.ID]bool{}
+	for _, t := range x {
+		fixed[t] = true
+	}
+	// The candidate bijection is forced position-by-position by mapping
+	// a1 onto a2 (same predicate, argument-wise), since dom() is the set
+	// of argument terms.
+	f := map[term.ID]term.ID{}
+	inv := map[term.ID]term.ID{}
+	args1, args2 := st.Args(a1), st.Args(a2)
+	for i := range args1 {
+		u, v := args1[i], args2[i]
+		if pu, ok := f[u]; ok && pu != v {
+			return false
+		}
+		if pv, ok := inv[v]; ok && pv != u {
+			return false
+		}
+		f[u], inv[v] = v, u
+		if fixed[u] || fixed[v] {
+			if u != v {
+				return false
+			}
+		}
+	}
+	// X-membership agreement (condition 1): fixed terms appear in one
+	// domain iff in the other — guaranteed since fixed mapped terms are
+	// identical; a fixed term present only on one side simply never maps,
+	// which the definition permits only when absent from both. Check it.
+	in1 := map[term.ID]bool{}
+	for _, t := range d1 {
+		in1[t] = true
+	}
+	in2 := map[term.ID]bool{}
+	for _, t := range d2 {
+		in2[t] = true
+	}
+	for t := range fixed {
+		if in1[t] != in2[t] {
+			return false
+		}
+	}
+	// f(S1) must equal S2.
+	t1, t2 := m.TypeOf(a1), m.TypeOf(a2)
+	if len(t1.Literals) != len(t2.Literals) {
+		return false
+	}
+	want := map[atom.AtomID]ground.Truth{}
+	for _, l := range t2.Literals {
+		want[l.Atom] = l.Truth
+	}
+	for _, l := range t1.Literals {
+		args := st.Args(l.Atom)
+		mapped := make([]term.ID, len(args))
+		for i, t := range args {
+			v, ok := f[t]
+			if !ok {
+				return false
+			}
+			mapped[i] = v
+		}
+		img, ok := st.Lookup(st.PredOf(l.Atom), mapped)
+		if !ok {
+			return false
+		}
+		tr, ok := want[img]
+		if !ok || tr != l.Truth {
+			return false
+		}
+		delete(want, img)
+	}
+	return len(want) == 0
+}

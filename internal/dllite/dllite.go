@@ -1,0 +1,306 @@
+// Package dllite implements DL-Lite_{R,⊓,not} ontologies (Example 2, [4])
+// and their translation into guarded normal Datalog± programs, so that
+// tractable description logics gain nonmonotonic negation under the
+// standard WFS with UNA — the application the paper motivates in §1.
+//
+// Supported axioms:
+//
+//	B1 ⊓ … ⊓ Bk ⊑ C      concept inclusions, where each Bi is a basic
+//	                      concept (A, ∃R, ∃R⁻) or its default negation
+//	                      not Bi, and C is a basic concept;
+//	R1 ⊑ R2              role inclusions over roles P or P⁻;
+//	B1 ⊑ ¬B2             negative inclusions (disjointness), translated
+//	                      to negative constraints (extension).
+//
+// The translation introduces, for every role P used under ∃ in a body
+// position, the auxiliary "domain"/"range" predicates realizing ∃P and
+// ∃P⁻ as unary atoms (the standard encoding from [4]):
+//
+//	p(X,Y) -> ex_p(X).      p(X,Y) -> exinv_p(Y).
+//
+// Concept names and role names are mangled to lower-case-initial predicate
+// identifiers (Person → person); see Mangle.
+package dllite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/atom"
+	"repro/internal/program"
+)
+
+// Role is an atomic role or its inverse.
+type Role struct {
+	Name    string
+	Inverse bool
+}
+
+// Inv returns the inverse of r.
+func (r Role) Inv() Role { return Role{Name: r.Name, Inverse: !r.Inverse} }
+
+func (r Role) String() string {
+	if r.Inverse {
+		return r.Name + "⁻"
+	}
+	return r.Name
+}
+
+// BasicKind distinguishes basic concepts.
+type BasicKind int
+
+const (
+	// KindAtomic is an atomic concept A.
+	KindAtomic BasicKind = iota
+	// KindExists is an unqualified existential ∃R (or ∃R⁻).
+	KindExists
+)
+
+// Basic is a basic concept: an atomic concept or ∃R / ∃R⁻.
+type Basic struct {
+	Kind    BasicKind
+	Concept string // KindAtomic
+	Role    Role   // KindExists
+}
+
+// Atomic returns the atomic concept A.
+func Atomic(name string) Basic { return Basic{Kind: KindAtomic, Concept: name} }
+
+// Exists returns ∃R for a role in the forward direction.
+func Exists(role string) Basic { return Basic{Kind: KindExists, Role: Role{Name: role}} }
+
+// ExistsInv returns ∃R⁻.
+func ExistsInv(role string) Basic {
+	return Basic{Kind: KindExists, Role: Role{Name: role, Inverse: true}}
+}
+
+func (b Basic) String() string {
+	if b.Kind == KindAtomic {
+		return b.Concept
+	}
+	return "∃" + b.Role.String()
+}
+
+// Lit is a possibly default-negated basic concept on the left-hand side of
+// a concept inclusion.
+type Lit struct {
+	Basic   Basic
+	Negated bool
+}
+
+// Pos wraps a basic concept as a positive literal.
+func Pos(b Basic) Lit { return Lit{Basic: b} }
+
+// Not wraps a basic concept as a default-negated literal.
+func Not(b Basic) Lit { return Lit{Basic: b, Negated: true} }
+
+func (l Lit) String() string {
+	if l.Negated {
+		return "not " + l.Basic.String()
+	}
+	return l.Basic.String()
+}
+
+// ConceptInclusion is B1 ⊓ … ⊓ Bk ⊑ C.
+type ConceptInclusion struct {
+	Body []Lit
+	Head Basic
+}
+
+// RoleInclusion is R1 ⊑ R2.
+type RoleInclusion struct {
+	Sub, Super Role
+}
+
+// NegativeInclusion is B1 ⊑ ¬B2 (disjointness).
+type NegativeInclusion struct {
+	Left, Right Basic
+}
+
+// ConceptAssertion is A(a).
+type ConceptAssertion struct {
+	Concept    string
+	Individual string
+}
+
+// RoleAssertion is P(a,b).
+type RoleAssertion struct {
+	Role string
+	A, B string
+}
+
+// Ontology is a DL-Lite_{R,⊓,not} TBox + ABox.
+type Ontology struct {
+	CIs    []ConceptInclusion
+	RIs    []RoleInclusion
+	NIs    []NegativeInclusion
+	Functs []Role // functionality assertions (funct R), (funct R⁻)
+	AboxC  []ConceptAssertion
+	AboxR  []RoleAssertion
+}
+
+// New returns an empty ontology.
+func New() *Ontology { return &Ontology{} }
+
+// SubClass adds a concept inclusion with the given body literals and head.
+func (o *Ontology) SubClass(head Basic, body ...Lit) *Ontology {
+	o.CIs = append(o.CIs, ConceptInclusion{Body: body, Head: head})
+	return o
+}
+
+// SubRole adds a role inclusion sub ⊑ super.
+func (o *Ontology) SubRole(sub, super Role) *Ontology {
+	o.RIs = append(o.RIs, RoleInclusion{Sub: sub, Super: super})
+	return o
+}
+
+// Disjoint adds the negative inclusion left ⊑ ¬right.
+func (o *Ontology) Disjoint(left, right Basic) *Ontology {
+	o.NIs = append(o.NIs, NegativeInclusion{Left: left, Right: right})
+	return o
+}
+
+// Functional declares the role functional: (funct R), translated to the
+// EGD  r(X,Y), r(X,Z) -> Y = Z  (for inverse roles, on the first
+// argument). EGDs are checked against the model under UNA (§5 extension).
+func (o *Ontology) Functional(r Role) *Ontology {
+	o.Functs = append(o.Functs, r)
+	return o
+}
+
+// AssertConcept adds A(a) to the ABox.
+func (o *Ontology) AssertConcept(concept, individual string) *Ontology {
+	o.AboxC = append(o.AboxC, ConceptAssertion{Concept: concept, Individual: individual})
+	return o
+}
+
+// AssertRole adds P(a,b) to the ABox.
+func (o *Ontology) AssertRole(role, a, b string) *Ontology {
+	o.AboxR = append(o.AboxR, RoleAssertion{Role: role, A: a, B: b})
+	return o
+}
+
+// Mangle converts a DL name to a predicate identifier: the first rune is
+// lower-cased ("Person" → "person"). Distinct DL names that collide after
+// mangling are the caller's responsibility.
+func Mangle(name string) string {
+	r, size := utf8.DecodeRuneInString(name)
+	return string(unicode.ToLower(r)) + name[size:]
+}
+
+func exPred(r Role) string {
+	if r.Inverse {
+		return "exinv_" + Mangle(r.Name)
+	}
+	return "ex_" + Mangle(r.Name)
+}
+
+func roleAtom(r Role, x, y string) string {
+	if r.Inverse {
+		return fmt.Sprintf("%s(%s, %s)", Mangle(r.Name), y, x)
+	}
+	return fmt.Sprintf("%s(%s, %s)", Mangle(r.Name), x, y)
+}
+
+// ErrNoPositiveBody reports a concept inclusion whose body has no positive
+// literal, which cannot be guarded.
+var ErrNoPositiveBody = errors.New("dllite: concept inclusion body needs a positive literal (guard)")
+
+// ToDatalog renders the ontology as guarded normal Datalog± source text.
+func (o *Ontology) ToDatalog() (string, error) {
+	var b strings.Builder
+	b.WriteString("% generated from a DL-Lite_{R,⊓,not} ontology\n")
+
+	// Determine which ∃-predicates are needed: every ∃R in a body literal
+	// or a negative inclusion requires the auxiliary unary predicate.
+	needEx := map[string]bool{}
+	noteBasic := func(c Basic) {
+		if c.Kind == KindExists {
+			needEx[c.Role.Name] = true
+		}
+	}
+	for _, ci := range o.CIs {
+		for _, l := range ci.Body {
+			noteBasic(l.Basic)
+		}
+	}
+	for _, ni := range o.NIs {
+		noteBasic(ni.Left)
+		noteBasic(ni.Right)
+	}
+	var exNames []string
+	for name := range needEx {
+		exNames = append(exNames, name)
+	}
+	sort.Strings(exNames)
+	for _, name := range exNames {
+		fmt.Fprintf(&b, "%s -> %s(X).\n", roleAtom(Role{Name: name}, "X", "Y"), exPred(Role{Name: name}))
+		fmt.Fprintf(&b, "%s -> %s(Y).\n", roleAtom(Role{Name: name}, "X", "Y"), exPred(Role{Name: name, Inverse: true}))
+	}
+
+	bodyAtom := func(c Basic, v string) string {
+		if c.Kind == KindAtomic {
+			return fmt.Sprintf("%s(%s)", Mangle(c.Concept), v)
+		}
+		return fmt.Sprintf("%s(%s)", exPred(c.Role), v)
+	}
+	headAtom := func(c Basic, v string) string {
+		if c.Kind == KindAtomic {
+			return fmt.Sprintf("%s(%s)", Mangle(c.Concept), v)
+		}
+		// ∃R in head position: fresh existential variable.
+		return roleAtom(c.Role, v, "Z")
+	}
+
+	for _, ci := range o.CIs {
+		hasPos := false
+		var parts []string
+		for _, l := range ci.Body {
+			a := bodyAtom(l.Basic, "X")
+			if l.Negated {
+				parts = append(parts, "not "+a)
+			} else {
+				parts = append(parts, a)
+				hasPos = true
+			}
+		}
+		if !hasPos {
+			return "", fmt.Errorf("%w: %v ⊑ %v", ErrNoPositiveBody, ci.Body, ci.Head)
+		}
+		fmt.Fprintf(&b, "%s -> %s.\n", strings.Join(parts, ", "), headAtom(ci.Head, "X"))
+	}
+	for _, ri := range o.RIs {
+		fmt.Fprintf(&b, "%s -> %s.\n", roleAtom(ri.Sub, "X", "Y"), roleAtom(ri.Super, "X", "Y"))
+	}
+	for _, ni := range o.NIs {
+		fmt.Fprintf(&b, "%s, %s -> false.\n", bodyAtom(ni.Left, "X"), bodyAtom(ni.Right, "X"))
+	}
+	for _, r := range o.Functs {
+		fmt.Fprintf(&b, "%s, %s -> Y = Z.\n", roleAtom(r, "X", "Y"), roleAtom(r, "X", "Z"))
+	}
+	for _, ca := range o.AboxC {
+		fmt.Fprintf(&b, "%s(%s).\n", Mangle(ca.Concept), ca.Individual)
+	}
+	for _, ra := range o.AboxR {
+		fmt.Fprintf(&b, "%s(%s, %s).\n", Mangle(ra.Role), ra.A, ra.B)
+	}
+	return b.String(), nil
+}
+
+// Compile translates and compiles the ontology into a program and database
+// over the given store.
+func (o *Ontology) Compile(st *atom.Store) (*program.Program, program.Database, error) {
+	src, err := o.ToDatalog()
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, db, _, err := program.CompileText(src, st)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dllite: compiling translation: %w", err)
+	}
+	return prog, db, nil
+}

@@ -1,0 +1,51 @@
+package ground
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset over local atom indexes.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Get reports whether bit i is set.
+func (b Bits) Get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bits) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether b and c hold the same bits (same capacity assumed).
+func (b Bits) Equal(c Bits) bool {
+	for i := range b {
+		if b[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of b.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// Reset clears all bits.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,217 @@
+// Package ground implements finite ground normal logic programs (§2.2) and
+// the well-founded semantics machinery on them:
+//
+//   - the van Gelder alternating fixpoint (Γ², the workhorse);
+//   - the literal unfounded-set operator iteration WP = TP ∪ ¬.UP (§2.6);
+//   - the forward-proof operator ŴP of Definition 7 / Theorem 8;
+//   - the Brass–Dix program remainder (residual program);
+//   - stratified (perfect-model) evaluation, the baseline semantics of [1];
+//   - a brute-force stable-model enumerator used as a test oracle.
+//
+// The four WFS algorithms are independent implementations that must agree
+// (Theorem 8 and the classic equivalences); the test suite enforces this on
+// the paper's examples and on randomized programs.
+//
+// Atoms are dense local indexes; the engine layer maps them to global
+// atom.AtomIDs from the chase universe. An atom with no rules (in
+// particular a negative body atom never derived by the bounded chase,
+// i.e. an atom with no forward proof) is simply false in every semantics
+// here, which is exactly the paper's treatment of atoms outside F+(P).
+package ground
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/chase"
+)
+
+// Truth is a three-valued truth value.
+type Truth int8
+
+const (
+	// False: the atom's negation is in the well-founded model.
+	False Truth = iota
+	// Undefined: neither the atom nor its negation is derivable.
+	Undefined
+	// True: the atom is in the well-founded model.
+	True
+)
+
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Undefined:
+		return "undefined"
+	case True:
+		return "true"
+	default:
+		return fmt.Sprintf("Truth(%d)", int8(t))
+	}
+}
+
+// Rule is a ground normal rule over local atom indexes. Facts are rules
+// with empty bodies.
+type Rule struct {
+	Head int32
+	Pos  []int32
+	Neg  []int32
+}
+
+// Program is a finite ground normal logic program.
+type Program struct {
+	// Atoms maps local indexes to global atom IDs; nil for purely local
+	// (test-constructed) programs.
+	Atoms []atom.AtomID
+	Rules []Rule
+
+	localIdx    map[atom.AtomID]int32
+	rulesByHead [][]int32
+	posOcc      [][]int32 // per atom: rules with a positive occurrence (with multiplicity)
+}
+
+// NumAtoms returns the universe size.
+func (p *Program) NumAtoms() int { return len(p.rulesByHead) }
+
+// RulesFor returns the indexes of rules whose head is atom a.
+func (p *Program) RulesFor(a int32) []int32 { return p.rulesByHead[a] }
+
+// New builds a program over n atoms from rules. Rule atom indexes must be
+// in [0,n).
+func New(n int, rules []Rule) *Program {
+	p := &Program{Rules: rules}
+	p.index(n)
+	return p
+}
+
+func (p *Program) index(n int) {
+	p.rulesByHead = make([][]int32, n)
+	p.posOcc = make([][]int32, n)
+	for ri := range p.Rules {
+		r := &p.Rules[ri]
+		p.rulesByHead[r.Head] = append(p.rulesByHead[r.Head], int32(ri))
+		for _, b := range r.Pos {
+			p.posOcc[b] = append(p.posOcc[b], int32(ri))
+		}
+	}
+}
+
+// FromChase converts a bounded chase result into a finite ground normal
+// program: the derived universe plus every (necessarily ground) negative
+// body atom of an instance, with one rule per instance and one fact per
+// depth-0 atom.
+func FromChase(res *chase.Result) *Program {
+	local := make(map[atom.AtomID]int32)
+	var atoms []atom.AtomID
+	idx := func(a atom.AtomID) int32 {
+		if i, ok := local[a]; ok {
+			return i
+		}
+		i := int32(len(atoms))
+		local[a] = i
+		atoms = append(atoms, a)
+		return i
+	}
+	var rules []Rule
+	for _, a := range res.Atoms {
+		if res.Depth(a) == 0 {
+			rules = append(rules, Rule{Head: idx(a)})
+		}
+	}
+	for i := range res.Instances {
+		in := &res.Instances[i]
+		r := Rule{Head: idx(in.Head)}
+		for _, b := range in.Pos {
+			r.Pos = append(r.Pos, idx(b))
+		}
+		for _, b := range in.Neg {
+			r.Neg = append(r.Neg, idx(b))
+		}
+		rules = append(rules, r)
+	}
+	p := &Program{Atoms: atoms, Rules: rules, localIdx: local}
+	p.index(len(atoms))
+	return p
+}
+
+// Local returns the local index of global atom a, or -1 if a is not in the
+// program's universe.
+func (p *Program) Local(a atom.AtomID) int32 {
+	if i, ok := p.localIdx[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Model is a three-valued interpretation of a program: one Truth per local
+// atom. By construction a Model is consistent (§2.2): it cannot contain an
+// atom and its negation.
+type Model struct {
+	Prog  *Program
+	Truth []Truth
+	// Rounds is the number of outer operator applications the computing
+	// algorithm needed (the finite counterpart of the paper's possibly
+	// transfinite iteration count, Example 9).
+	Rounds int
+}
+
+// TruthOf returns the truth of local atom a.
+func (m *Model) TruthOf(a int32) Truth { return m.Truth[a] }
+
+// TruthOfGlobal returns the truth of a global atom: False when outside the
+// universe (no forward proof within the bound).
+func (m *Model) TruthOfGlobal(a atom.AtomID) Truth {
+	if i := m.Prog.Local(a); i >= 0 {
+		return m.Truth[i]
+	}
+	return False
+}
+
+// CountTrue returns the number of true atoms.
+func (m *Model) CountTrue() int { return m.count(True) }
+
+// CountUndefined returns the number of undefined atoms.
+func (m *Model) CountUndefined() int { return m.count(Undefined) }
+
+func (m *Model) count(t Truth) int {
+	n := 0
+	for _, v := range m.Truth {
+		if v == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two models over the same program agree everywhere.
+func (m *Model) Equal(o *Model) bool {
+	if len(m.Truth) != len(o.Truth) {
+		return false
+	}
+	for i := range m.Truth {
+		if m.Truth[i] != o.Truth[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the model as {a, b, ¬c, u?} style sets for debugging.
+func (m *Model) String() string {
+	var tr, fa, un []string
+	for i, t := range m.Truth {
+		name := fmt.Sprintf("a%d", i)
+		switch t {
+		case True:
+			tr = append(tr, name)
+		case False:
+			fa = append(fa, name)
+		default:
+			un = append(un, name)
+		}
+	}
+	return fmt.Sprintf("true=%s false=%s undef=%s",
+		strings.Join(tr, ","), strings.Join(fa, ","), strings.Join(un, ","))
+}

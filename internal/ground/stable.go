@@ -1,0 +1,57 @@
+package ground
+
+// StableModels enumerates all (two-valued) stable models of a small ground
+// program by brute force: M is stable iff M equals the least model of the
+// Gelfond–Lifschitz reduct P^M. This is exponential and exists purely as a
+// test oracle for the approximation property of the WFS (every WFS-true
+// atom belongs to every stable model; every WFS-false atom to none).
+// The universe must have at most 24 atoms.
+func StableModels(p *Program) [][]bool {
+	n := p.NumAtoms()
+	if n > 24 {
+		panic("ground: StableModels is a test oracle for tiny programs only")
+	}
+	blocked := make([]bool, len(p.Rules))
+	counts := make([]int32, len(p.Rules))
+	queue := make([]int32, 0, n)
+	cand := NewBits(n)
+	lm := NewBits(n)
+
+	var out [][]bool
+	for mask := 0; mask < 1<<n; mask++ {
+		cand.Reset()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cand.Set(int32(i))
+			}
+		}
+		p.blockIfNegIn(cand, blocked)
+		lm = p.leastModel(blocked, lm, counts, queue)
+		if lm.Equal(cand) {
+			model := make([]bool, n)
+			for i := 0; i < n; i++ {
+				model[i] = cand.Get(int32(i))
+			}
+			out = append(out, model)
+		}
+	}
+	return out
+}
+
+// ApproximatesStable checks the WFS approximation property of model m
+// against every stable model of p: WFS-true atoms are in all stable
+// models, WFS-false atoms in none. It returns true vacuously when p has
+// no stable models.
+func ApproximatesStable(p *Program, m *Model) bool {
+	for _, sm := range StableModels(p) {
+		for i, t := range m.Truth {
+			if t == True && !sm[i] {
+				return false
+			}
+			if t == False && sm[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryEqualities(t *testing.T) {
+	u := parseOne(t, "? p(X, Y), X = Y, Y = bob, 42 = X.")
+	lits := u.Queries[0].Literals
+	if len(lits) != 4 {
+		t.Fatalf("literals = %d, want 4", len(lits))
+	}
+	if !lits[1].IsEq || !lits[1].EqLeft.IsVar || lits[1].EqLeft.Name != "X" ||
+		!lits[1].EqRight.IsVar || lits[1].EqRight.Name != "Y" {
+		t.Errorf("X = Y parsed wrong: %+v", lits[1])
+	}
+	if !lits[2].IsEq || lits[2].EqRight.IsVar || lits[2].EqRight.Name != "bob" {
+		t.Errorf("Y = bob parsed wrong: %+v", lits[2])
+	}
+	if !lits[3].IsEq || lits[3].EqLeft.IsVar || lits[3].EqLeft.Name != "42" {
+		t.Errorf("42 = X parsed wrong: %+v", lits[3])
+	}
+}
+
+func TestParseConstantEqualityLHS(t *testing.T) {
+	// A lower-case identifier followed by '=' is a constant equality, not
+	// a propositional atom.
+	u := parseOne(t, "? p(X), bob = X.")
+	lits := u.Queries[0].Literals
+	if !lits[1].IsEq || lits[1].EqLeft.IsVar || lits[1].EqLeft.Name != "bob" {
+		t.Errorf("bob = X parsed wrong: %+v", lits[1])
+	}
+}
+
+func TestInequalityRejected(t *testing.T) {
+	_, err := Parse("? p(X), not X = Y.")
+	if err == nil || !strings.Contains(err.Error(), "inequalities") {
+		t.Errorf("negated equality accepted: %v", err)
+	}
+}
+
+func TestEqualityOutsideQueryRejected(t *testing.T) {
+	// Equalities in rule bodies are not part of the language.
+	_, err := Parse("p(X), X = Y -> q(X).")
+	if err == nil {
+		t.Errorf("equality in rule body accepted by parser")
+	}
+}
+
+func TestEqualityRoundTrip(t *testing.T) {
+	src := "? p(X, Y), X = Y, Y = bob.\n"
+	u := parseOne(t, src)
+	printed := Format(u)
+	u2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Format(u2) != printed {
+		t.Errorf("equality round-trip unstable: %q vs %q", printed, Format(u2))
+	}
+}

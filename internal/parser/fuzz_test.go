@@ -1,0 +1,57 @@
+package parser
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// round-trip stably through the printer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"p(a).",
+		"p(X) -> q(X, Y).",
+		"r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).",
+		"emp(X), seeker(X) -> false.",
+		"id(X,Y), id(X,Z) -> Y = Z.",
+		"? p(X), not q(X), X = a.",
+		`p("string const", 42, _Under).`,
+		"% comment\np(a). # more",
+		"?? broken",
+		"p(a) -> q(a), r(a).",
+		"not p(a).",
+		"p(",
+		"p(a)..",
+		"?",
+		"-> q.",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Parse(src)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		printed := Format(u)
+		u2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparseable output %q for input %q: %v", printed, src, err)
+		}
+		if Format(u2) != printed {
+			t.Fatalf("print-parse-print unstable for %q", src)
+		}
+	})
+}
+
+// FuzzParseQueryString covers the query-sugar entry point.
+func FuzzParseQueryString(f *testing.F) {
+	for _, seed := range []string{"p(X)", "? p(X).", "p(X), not q(X)", "X = Y, p(X, Y)"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQueryString(src)
+		if err != nil {
+			return
+		}
+		if len(q.Literals) == 0 {
+			t.Fatalf("accepted query with no literals: %q", src)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package parser
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokPeriod
+	tokArrow
+	tokNot
+	tokQuestion
+	tokEq
+	tokFalse
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokArrow:
+		return "'->'"
+	case tokNot:
+		return "'not'"
+	case tokQuestion:
+		return "'?'"
+	case tokEq:
+		return "'='"
+	case tokFalse:
+		return "'false'"
+	default:
+		return fmt.Sprintf("tok(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind      tokKind
+	text      string
+	line, col int
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(r rune, size int) {
+	l.pos += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r, size := l.peekRune()
+		if size == 0 {
+			return
+		}
+		switch {
+		case unicode.IsSpace(r):
+			l.advance(r, size)
+		case r == '%' || r == '#':
+			for {
+				r, size = l.peekRune()
+				if size == 0 || r == '\n' {
+					break
+				}
+				l.advance(r, size)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// next returns the next token, or an error on malformed input.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r, size := l.peekRune()
+	if size == 0 {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case r == '(':
+		l.advance(r, size)
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance(r, size)
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance(r, size)
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '.':
+		l.advance(r, size)
+		return token{kind: tokPeriod, text: ".", line: line, col: col}, nil
+	case r == '?':
+		l.advance(r, size)
+		return token{kind: tokQuestion, text: "?", line: line, col: col}, nil
+	case r == '=':
+		l.advance(r, size)
+		return token{kind: tokEq, text: "=", line: line, col: col}, nil
+	case r == '-':
+		l.advance(r, size)
+		r2, size2 := l.peekRune()
+		if r2 != '>' {
+			return token{}, l.errf(line, col, "expected '->' after '-'")
+		}
+		l.advance(r2, size2)
+		return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+	case r == '"':
+		l.advance(r, size)
+		start := l.pos
+		for {
+			r2, size2 := l.peekRune()
+			if size2 == 0 || r2 == '\n' {
+				return token{}, l.errf(line, col, "unterminated string literal")
+			}
+			if r2 == '"' {
+				text := l.src[start:l.pos]
+				l.advance(r2, size2)
+				return token{kind: tokString, text: text, line: line, col: col}, nil
+			}
+			l.advance(r2, size2)
+		}
+	case unicode.IsDigit(r):
+		start := l.pos
+		for {
+			r2, size2 := l.peekRune()
+			if size2 == 0 || !(unicode.IsDigit(r2) || r2 == '_') {
+				break
+			}
+			l.advance(r2, size2)
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case isIdentStart(r):
+		start := l.pos
+		for {
+			r2, size2 := l.peekRune()
+			if size2 == 0 || !isIdentPart(r2) {
+				break
+			}
+			l.advance(r2, size2)
+		}
+		text := l.src[start:l.pos]
+		switch text {
+		case "not":
+			return token{kind: tokNot, text: text, line: line, col: col}, nil
+		case "false":
+			return token{kind: tokFalse, text: text, line: line, col: col}, nil
+		}
+		first, _ := utf8.DecodeRuneInString(text)
+		if unicode.IsUpper(first) || first == '_' {
+			return token{kind: tokVar, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	default:
+		return token{}, l.errf(line, col, "unexpected character %q", r)
+	}
+}

@@ -1,0 +1,316 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type parser struct {
+	lex *lexer
+	tok token // lookahead
+}
+
+// Parse parses a source unit: any mixture of facts, rules, constraints,
+// EGDs, and queries.
+func Parse(src string) (*Unit, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	unit := &Unit{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokQuestion {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			unit.Queries = append(unit.Queries, q)
+			continue
+		}
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		unit.Rules = append(unit.Rules, r)
+	}
+	return unit, nil
+}
+
+// ParseQueryString parses a single NBCQ given with or without the leading
+// '?' and optional trailing '.'.
+func ParseQueryString(src string) (*Query, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasPrefix(s, "?") {
+		s = "? " + s
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	unit, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(unit.Queries) != 1 || len(unit.Rules) != 0 {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "expected exactly one query"}
+	}
+	return unit.Queries[0], nil
+}
+
+func (p *parser) bump() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errHere("expected %s, found %s", kind, p.describe())
+	}
+	t := p.tok
+	if err := p.bump(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) describe() string {
+	if p.tok.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", p.tok.kind, p.tok.text)
+}
+
+func (p *parser) errHere(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseRule parses: literals [ '->' head ] '.'
+// where head is 'false', an equality, or a conjunction of atoms.
+func (p *parser) parseRule() (*Rule, error) {
+	line := p.tok.line
+	lits, err := p.parseLiterals()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPeriod {
+		// A fact (or conjunction of facts, which we reject for clarity).
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		for _, l := range lits {
+			if l.Negated {
+				return nil, &SyntaxError{Line: line, Col: 1, Msg: "negated literal outside a rule body"}
+			}
+		}
+		atoms := make([]Atom, len(lits))
+		for i, l := range lits {
+			atoms[i] = l.Atom
+		}
+		if len(atoms) != 1 {
+			return nil, &SyntaxError{Line: line, Col: 1, Msg: "a fact must be a single atom (one per statement)"}
+		}
+		return &Rule{Kind: KindTGD, Head: atoms, Line: line}, nil
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	r := &Rule{Body: lits, Line: line}
+	switch p.tok.kind {
+	case tokFalse:
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		r.Kind = KindConstraint
+	default:
+		// Either an EGD (Var = Var) or a conjunction of head atoms.
+		if p.tok.kind == tokVar {
+			// Could be an EGD; peek for '='.
+			v := p.tok
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokEq {
+				if err := p.bump(); err != nil {
+					return nil, err
+				}
+				rhs, err := p.parseTerm()
+				if err != nil {
+					return nil, err
+				}
+				r.Kind = KindEGD
+				r.EqLeft = Term{Name: v.text, IsVar: true}
+				r.EqRight = rhs
+				break
+			}
+			return nil, &SyntaxError{Line: v.line, Col: v.col, Msg: "rule head must be an atom, 'false', or an equality"}
+		}
+		r.Kind = KindTGD
+		for {
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			r.Head = append(r.Head, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokPeriod); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	line := p.tok.line
+	if _, err := p.expect(tokQuestion); err != nil {
+		return nil, err
+	}
+	var lits []Literal
+	for {
+		lit, err := p.parseQueryLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, lit)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPeriod); err != nil {
+		return nil, err
+	}
+	return &Query{Literals: lits, Line: line}, nil
+}
+
+// parseQueryLiteral parses an atom, a negated atom, or an equality
+// (Var = term or term = term); equalities cannot be negated (§2.1: CQs may
+// contain equalities but no inequalities).
+func (p *parser) parseQueryLiteral() (Literal, error) {
+	neg := false
+	if p.tok.kind == tokNot {
+		neg = true
+		if err := p.bump(); err != nil {
+			return Literal{}, err
+		}
+	}
+	// Variable or non-predicate term opens an equality.
+	if p.tok.kind == tokVar || p.tok.kind == tokNumber || p.tok.kind == tokString {
+		lhs, err := p.parseTerm()
+		if err != nil {
+			return Literal{}, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return Literal{}, err
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return Literal{}, err
+		}
+		if neg {
+			return Literal{}, p.errHere("inequalities are not allowed in queries")
+		}
+		return Literal{IsEq: true, EqLeft: lhs, EqRight: rhs}, nil
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return Literal{}, err
+	}
+	// A bare identifier followed by '=' is a constant equality.
+	if len(a.Args) == 0 && p.tok.kind == tokEq {
+		if err := p.bump(); err != nil {
+			return Literal{}, err
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return Literal{}, err
+		}
+		if neg {
+			return Literal{}, p.errHere("inequalities are not allowed in queries")
+		}
+		return Literal{IsEq: true, EqLeft: Term{Name: a.Pred}, EqRight: rhs}, nil
+	}
+	return Literal{Atom: a, Negated: neg}, nil
+}
+
+func (p *parser) parseLiterals() ([]Literal, error) {
+	var lits []Literal
+	for {
+		neg := false
+		if p.tok.kind == tokNot {
+			neg = true
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, Literal{Atom: a, Negated: neg})
+		if p.tok.kind != tokComma {
+			return lits, nil
+		}
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	if p.tok.kind != tokIdent {
+		return Atom{}, p.errHere("expected predicate name, found %s", p.describe())
+	}
+	a := Atom{Pred: p.tok.text, Line: p.tok.line, Col: p.tok.col}
+	if err := p.bump(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return a, nil // propositional atom
+	}
+	if err := p.bump(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind == tokRParen {
+		return Atom{}, p.errHere("empty argument list; write a propositional atom without parentheses")
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokRParen {
+			if err := p.bump(); err != nil {
+				return Atom{}, err
+			}
+			return a, nil
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return Atom{}, err
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		t := Term{Name: p.tok.text, IsVar: true}
+		return t, p.bump()
+	case tokIdent, tokNumber, tokString:
+		t := Term{Name: p.tok.text}
+		return t, p.bump()
+	default:
+		return Term{}, p.errHere("expected a term, found %s", p.describe())
+	}
+}

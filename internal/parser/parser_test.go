@@ -1,0 +1,216 @@
+package parser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return u
+}
+
+func TestParseFact(t *testing.T) {
+	u := parseOne(t, "person(john).")
+	if len(u.Rules) != 1 || !u.Rules[0].IsFact() {
+		t.Fatalf("expected one fact, got %+v", u.Rules)
+	}
+	a := u.Rules[0].Head[0]
+	if a.Pred != "person" || len(a.Args) != 1 || a.Args[0].Name != "john" || a.Args[0].IsVar {
+		t.Errorf("fact parsed wrong: %+v", a)
+	}
+}
+
+func TestParsePropositionalFact(t *testing.T) {
+	u := parseOne(t, "rain.")
+	if len(u.Rules) != 1 || u.Rules[0].Head[0].Pred != "rain" || len(u.Rules[0].Head[0].Args) != 0 {
+		t.Errorf("propositional fact parsed wrong")
+	}
+}
+
+func TestParseRuleWithNegation(t *testing.T) {
+	u := parseOne(t, "r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).")
+	r := u.Rules[0]
+	if len(r.Body) != 3 || len(r.Head) != 1 {
+		t.Fatalf("rule shape wrong: %+v", r)
+	}
+	if r.Body[2].Atom.Pred != "q" || !r.Body[2].Negated {
+		t.Errorf("negated literal wrong: %+v", r.Body[2])
+	}
+	if !r.Body[0].Atom.Args[0].IsVar {
+		t.Errorf("variable not recognized")
+	}
+}
+
+func TestParseMultiHead(t *testing.T) {
+	u := parseOne(t, "person(X) -> hasID(X, Y), idOf(Y, X).")
+	if len(u.Rules[0].Head) != 2 {
+		t.Errorf("multi-atom head not parsed: %+v", u.Rules[0].Head)
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	u := parseOne(t, "emp(X), seeker(X) -> false.")
+	if u.Rules[0].Kind != KindConstraint {
+		t.Errorf("constraint kind = %v", u.Rules[0].Kind)
+	}
+}
+
+func TestParseEGD(t *testing.T) {
+	u := parseOne(t, "id(X,Y), id(X,Z) -> Y = Z.")
+	r := u.Rules[0]
+	if r.Kind != KindEGD || !r.EqLeft.IsVar || r.EqLeft.Name != "Y" || r.EqRight.Name != "Z" {
+		t.Errorf("EGD parsed wrong: %+v", r)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	u := parseOne(t, "? isAuthorOf(john, X), not retracted(X).")
+	if len(u.Queries) != 1 {
+		t.Fatalf("expected one query")
+	}
+	q := u.Queries[0]
+	if len(q.Literals) != 2 || !q.Literals[1].Negated {
+		t.Errorf("query literals wrong: %+v", q.Literals)
+	}
+}
+
+func TestParseQueryString(t *testing.T) {
+	for _, src := range []string{"p(X)", "p(X).", "? p(X).", "?p(X)"} {
+		q, err := ParseQueryString(src)
+		if err != nil {
+			t.Errorf("ParseQueryString(%q): %v", src, err)
+			continue
+		}
+		if len(q.Literals) != 1 || q.Literals[0].Atom.Pred != "p" {
+			t.Errorf("ParseQueryString(%q) literals wrong", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	u := parseOne(t, `
+% a percent comment
+p(a). # a hash comment
+# full-line comment
+q(b).
+`)
+	if len(u.Rules) != 2 {
+		t.Errorf("comments broke parsing: %d rules", len(u.Rules))
+	}
+}
+
+func TestParseNumbersAndStrings(t *testing.T) {
+	u := parseOne(t, `p(0, 42, "Hello World", x_1).`)
+	args := u.Rules[0].Head[0].Args
+	want := []string{"0", "42", "Hello World", "x_1"}
+	for i, w := range want {
+		if args[i].Name != w || args[i].IsVar {
+			t.Errorf("arg %d = %+v, want constant %q", i, args[i], w)
+		}
+	}
+}
+
+func TestVariableSpelling(t *testing.T) {
+	u := parseOne(t, "p(X, Xyz, _under, lower) -> q(X).")
+	args := u.Rules[0].Body[0].Atom.Args
+	wantVar := []bool{true, true, true, false}
+	for i, w := range wantVar {
+		if args[i].IsVar != w {
+			t.Errorf("arg %d IsVar = %v, want %v", i, args[i].IsVar, w)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"p(a)", "expected"},                // missing period
+		{"p(a,).", "expected a term"},       // trailing comma
+		{"p().", "empty argument list"},     // explicit empty args
+		{"-> q(a).", "expected predicate"},  // empty body with arrow
+		{"p(a) -> X.", "rule head"},         // head variable
+		{`p("unterminated`, "unterminated"}, // bad string
+		{"p(a) q(b).", "expected"},          // missing connective
+		{"not p(a).", "negated literal"},    // bare negated fact
+		{"p(a), q(a).", "single atom"},      // conjunction as statement
+		{"p(a) - q(a).", "expected '->'"},   // bad arrow
+		{"p(a) -> q(a)", "expected"},        // missing final period
+		{"&", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantMsg)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q) error is not a *SyntaxError: %v", c.src, err)
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("p(a).\nq(b)\nr(c).")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected syntax error, got %v", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3 (error discovered at 'r')", se.Line)
+	}
+}
+
+// TestRoundTrip: parse → print → parse is a fixpoint (prints are stable and
+// reparseable).
+func TestRoundTrip(t *testing.T) {
+	src := `
+article(a1).
+conferencePaper(X) -> article(X).
+scientist(X) -> isAuthorOf(X, Y).
+r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+emp(X), seeker(X) -> false.
+id(X,Y), id(X,Z) -> Y = Z.
+person(X) -> hasID(X, Y), idOf(Y, X).
+p("Weird Constant", 42).
+? isAuthorOf(john, X), not retracted(X).
+`
+	u1 := parseOne(t, src)
+	printed := Format(u1)
+	u2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", printed, err)
+	}
+	printed2 := Format(u2)
+	if printed != printed2 {
+		t.Errorf("print-parse-print not stable:\n%s\nvs\n%s", printed, printed2)
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	for _, tc := range []struct{ name, want string }{
+		{"john", "john"},
+		{"Hello World", `"Hello World"`},
+		{"42", "42"},
+		{"4x", `"4x"`},
+		{"not", `"not"`},
+		{"false", `"false"`},
+		{"Upper", `"Upper"`},
+		{"", `""`},
+	} {
+		if got := FormatTerm(Term{Name: tc.name}); got != tc.want {
+			t.Errorf("FormatTerm(%q) = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package program
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/term"
+)
+
+func compile(t *testing.T, src string) (*Program, Database, []*Query, *atom.Store) {
+	t.Helper()
+	st := atom.NewStore(term.NewStore())
+	prog, db, qs, err := CompileText(src, st)
+	if err != nil {
+		t.Fatalf("CompileText: %v", err)
+	}
+	return prog, db, qs, st
+}
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	st := atom.NewStore(term.NewStore())
+	_, _, _, err := CompileText(src, st)
+	if err == nil {
+		t.Fatalf("CompileText(%q) succeeded, want error", src)
+	}
+	return err
+}
+
+func TestFactsGoToDatabase(t *testing.T) {
+	prog, db, _, st := compile(t, "p(a). p(b). q(a,b).")
+	if len(prog.Rules) != 0 {
+		t.Errorf("facts compiled as rules")
+	}
+	if len(db) != 3 {
+		t.Fatalf("database has %d atoms, want 3", len(db))
+	}
+	if st.String(db[2]) != "q(a,b)" {
+		t.Errorf("db[2] = %s", st.String(db[2]))
+	}
+}
+
+func TestNonGroundFactRejected(t *testing.T) {
+	err := compileErr(t, "p(X).")
+	if !errors.Is(err, ErrNonGroundFact) {
+		t.Errorf("error = %v, want ErrNonGroundFact", err)
+	}
+}
+
+func TestGuardSelection(t *testing.T) {
+	// The guard must contain all universal variables; here only r(X,Y,Z)
+	// qualifies and must be moved to position 0.
+	prog, _, _, _ := compile(t, "p(X,Y), r(X,Y,Z), not q(Z) -> s(X).")
+	r := prog.Rules[0]
+	if r.Guard != 0 {
+		t.Errorf("guard index = %d, want 0", r.Guard)
+	}
+	if got := prog.Store.PredName(r.GuardAtom().Pred); got != "r" {
+		t.Errorf("guard predicate = %s, want r", got)
+	}
+}
+
+func TestNotGuardedRejected(t *testing.T) {
+	// Classic transitive closure is not guarded.
+	err := compileErr(t, "e(X,Y), t(Y,Z) -> t(X,Z).")
+	if !errors.Is(err, ErrNotGuarded) {
+		t.Errorf("error = %v, want ErrNotGuarded", err)
+	}
+	var ce *ClauseError
+	if !errors.As(err, &ce) || ce.Line != 1 {
+		t.Errorf("missing clause position: %v", err)
+	}
+}
+
+func TestNegativeBodyOnlyRejected(t *testing.T) {
+	err := compileErr(t, "not p(X) -> q(X).")
+	if !errors.Is(err, ErrNotGuarded) {
+		t.Errorf("error = %v, want ErrNotGuarded", err)
+	}
+}
+
+func TestSkolemizationOfExistentials(t *testing.T) {
+	prog, _, _, st := compile(t, "scientist(X) -> isAuthorOf(X, Y).")
+	r := prog.Rules[0]
+	if len(r.Exist) != 1 {
+		t.Fatalf("existential vars = %d, want 1", len(r.Exist))
+	}
+	if got := st.Terms.FunctorArity(r.Exist[0].Fn); got != 1 {
+		t.Errorf("Skolem functor arity = %d, want 1 (one universal var)", got)
+	}
+	if len(r.Univ) != 1 {
+		t.Errorf("universal vars = %d, want 1", len(r.Univ))
+	}
+}
+
+func TestMultipleExistentialsShareUniversals(t *testing.T) {
+	prog, _, _, st := compile(t, "p(X,Y) -> q(X, V, W).")
+	r := prog.Rules[0]
+	if len(r.Exist) != 2 {
+		t.Fatalf("existential vars = %d, want 2", len(r.Exist))
+	}
+	if r.Exist[0].Fn == r.Exist[1].Fn {
+		t.Errorf("distinct existential variables share a Skolem functor")
+	}
+	for _, ev := range r.Exist {
+		if st.Terms.FunctorArity(ev.Fn) != 2 {
+			t.Errorf("Skolem arity = %d, want 2", st.Terms.FunctorArity(ev.Fn))
+		}
+	}
+}
+
+func TestInstantiateHeadBuildsSkolemTerms(t *testing.T) {
+	prog, _, _, st := compile(t, "p(X) -> q(X, Y).")
+	r := prog.Rules[0]
+	sub := atom.NewSubst(r.NumVars)
+	sub[0] = st.Terms.Const("a")
+	var trail []int32
+	head := prog.InstantiateHead(r, sub, &trail)
+	want := "q(a," + st.Terms.FunctorName(r.Exist[0].Fn) + "(a))"
+	if st.String(head) != want {
+		t.Errorf("head = %s, want %s", st.String(head), want)
+	}
+	// Deterministic: same guard binding, same Skolem term.
+	sub2 := atom.NewSubst(r.NumVars)
+	sub2[0] = st.Terms.Const("a")
+	var trail2 []int32
+	if head2 := prog.InstantiateHead(r, sub2, &trail2); head2 != head {
+		t.Errorf("head instantiation not deterministic")
+	}
+}
+
+func TestMultiHeadNormalization(t *testing.T) {
+	prog, _, _, st := compile(t, "person(X) -> hasID(X, Y), idOf(Y, X).")
+	// One aux rule + two projection rules.
+	if len(prog.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3 (aux + 2 projections)", len(prog.Rules))
+	}
+	aux := prog.Rules[0]
+	if len(aux.Exist) != 1 {
+		t.Errorf("aux rule existentials = %d, want 1", len(aux.Exist))
+	}
+	// Projections are guarded by the aux atom.
+	for _, r := range prog.Rules[1:] {
+		if got := st.PredName(r.GuardAtom().Pred); !strings.HasPrefix(got, "aux_") {
+			t.Errorf("projection guard = %s, want aux_*", got)
+		}
+		if len(r.Exist) != 0 {
+			t.Errorf("projection rule has existentials")
+		}
+	}
+}
+
+func TestConstraintAndEGDCompile(t *testing.T) {
+	prog, _, _, _ := compile(t, `
+emp(X), not onLeave(X), seeker(X) -> false.
+id(X,Y), id(X,Z) -> Y = Z.
+id(X,Y) -> Y = fixed.
+`)
+	if len(prog.Constraints) != 1 || len(prog.EGDs) != 2 {
+		t.Fatalf("constraints=%d egds=%d", len(prog.Constraints), len(prog.EGDs))
+	}
+	c := prog.Constraints[0]
+	if len(c.PosBody) != 2 || len(c.NegBody) != 1 {
+		t.Errorf("constraint body shape wrong")
+	}
+	if prog.EGDs[1].Right.IsVar() {
+		t.Errorf("EGD constant right-hand side parsed as variable")
+	}
+}
+
+func TestEGDInvalidHeads(t *testing.T) {
+	if err := compileErr(t, "id(X,Y) -> W = Y."); !errors.Is(err, ErrEGDHead) {
+		t.Errorf("unbound EGD head var: %v", err)
+	}
+	if err := compileErr(t, "id(X,Y) -> X = W."); !errors.Is(err, ErrEGDHead) {
+		t.Errorf("unbound EGD right-hand side: %v", err)
+	}
+	if err := compileErr(t, "id(X,Y), not q(X) -> X = Y."); err == nil || errors.Is(err, ErrEGDHead) {
+		t.Errorf("negated EGD body: %v", err)
+	}
+}
+
+func TestQuerySafety(t *testing.T) {
+	st := atom.NewStore(term.NewStore())
+	if _, err := ParseQuery("? p(X), not q(X, Y).", st); !errors.Is(err, ErrUnsafeQuery) {
+		t.Errorf("unsafe query: %v", err)
+	}
+	q, err := ParseQuery("? p(X), not q(X, X).", st)
+	if err != nil {
+		t.Fatalf("safe query rejected: %v", err)
+	}
+	if len(q.Pos) != 1 || len(q.Neg) != 1 || q.NumVars != 1 {
+		t.Errorf("query shape wrong: %+v", q)
+	}
+	// Ground negative literals are safe.
+	if _, err := ParseQuery("? p(X), not q(a, b).", st); err != nil {
+		t.Errorf("ground negative rejected: %v", err)
+	}
+}
+
+func TestRulesGuardedByIndex(t *testing.T) {
+	prog, _, _, st := compile(t, `
+p(X) -> q(X).
+p(X), r(X) -> s(X).
+r(X) -> q(X).
+`)
+	p, _ := st.LookupPred("p")
+	r, _ := st.LookupPred("r")
+	if got := len(prog.RulesGuardedBy(p)); got != 2 {
+		t.Errorf("rules guarded by p = %d, want 2", got)
+	}
+	if got := len(prog.RulesGuardedBy(r)); got != 1 {
+		t.Errorf("rules guarded by r = %d, want 1", got)
+	}
+}
+
+func TestIsPositive(t *testing.T) {
+	pos, _, _, _ := compile(t, "p(X) -> q(X).")
+	if !pos.IsPositive() {
+		t.Errorf("positive program misclassified")
+	}
+	neg, _, _, _ := compile(t, "p(X), not q(X) -> r(X).")
+	if neg.IsPositive() {
+		t.Errorf("normal program misclassified as positive")
+	}
+}
+
+func TestStratify(t *testing.T) {
+	strat, _, _, _ := compile(t, `
+contract(X, Y) -> employed(X).
+person(X), not employed(X) -> seeker(X).
+seeker(X), not retired(X) -> benefits(X).
+`)
+	s, ok := strat.Stratify()
+	if !ok {
+		t.Fatalf("stratified program not recognized")
+	}
+	if s.NumStrata < 2 {
+		t.Errorf("NumStrata = %d, want ≥ 2", s.NumStrata)
+	}
+	emp, _ := strat.Store.LookupPred("employed")
+	seek, _ := strat.Store.LookupPred("seeker")
+	ben, _ := strat.Store.LookupPred("benefits")
+	ret, _ := strat.Store.LookupPred("retired")
+	// Negative deps are strict (employed < seeker, retired < benefits);
+	// the positive dep seeker → benefits is non-strict.
+	if !(s.Strata[emp] < s.Strata[seek] && s.Strata[seek] <= s.Strata[ben] && s.Strata[ret] < s.Strata[ben]) {
+		t.Errorf("strata order wrong: employed=%d seeker=%d benefits=%d retired=%d",
+			s.Strata[emp], s.Strata[seek], s.Strata[ben], s.Strata[ret])
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	prog, _, _, _ := compile(t, "move(X,Y), not win(Y) -> win(X).")
+	if _, ok := prog.Stratify(); ok {
+		t.Errorf("win-move recognized as stratified")
+	}
+	// Longer negative cycle through two predicates.
+	prog2, _, _, _ := compile(t, `
+node(X), not p(X) -> q(X).
+node(X), not q(X) -> p(X).
+`)
+	if _, ok := prog2.Stratify(); ok {
+		t.Errorf("even cycle through negation recognized as stratified")
+	}
+}
+
+func TestStratifyPositiveCycleOK(t *testing.T) {
+	prog, _, _, _ := compile(t, `
+reach(X), edge(X,Y) -> reach(Y).
+start(X) -> reach(X).
+`)
+	if _, ok := prog.Stratify(); !ok {
+		t.Errorf("positive recursion misdiagnosed as unstratifiable")
+	}
+}
+
+func TestDependsOnNegatively(t *testing.T) {
+	prog, _, _, st := compile(t, "person(X), not employed(X) -> seeker(X).")
+	seeker, _ := st.LookupPred("seeker")
+	employed, _ := st.LookupPred("employed")
+	person, _ := st.LookupPred("person")
+	if !prog.DependsOnNegatively(seeker, employed) {
+		t.Errorf("missing negative dependency")
+	}
+	if prog.DependsOnNegatively(seeker, person) {
+		t.Errorf("positive dependency reported as negative")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog, _, _, _ := compile(t, "p(X) -> q(X).\nq(X), p(X) -> false.")
+	s := prog.String()
+	if !strings.Contains(s, "p(X) -> q(X).") || !strings.Contains(s, "false") {
+		t.Errorf("String() missing clauses:\n%s", s)
+	}
+}
+
+func TestSchemaConflictSurfaces(t *testing.T) {
+	err := compileErr(t, "p(a). p(a,b).")
+	var ce *ClauseError
+	if !errors.As(err, &ce) {
+		t.Errorf("arity conflict missing clause context: %v", err)
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	lin, _, _, _ := compile(t, "p(X) -> q(X).\nq(X), not r(X) -> s(X).")
+	if !lin.IsLinear() {
+		t.Errorf("linear program misclassified")
+	}
+	nonlin, _, _, _ := compile(t, "p(X), q(X) -> s(X).")
+	if nonlin.IsLinear() {
+		t.Errorf("two positive body atoms classified linear")
+	}
+}

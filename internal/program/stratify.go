@@ -1,0 +1,77 @@
+package program
+
+import "repro/internal/atom"
+
+// Stratification is the result of stratifying a program's predicate
+// dependency graph: Strata[p] is the stratum of predicate p (0-based),
+// NumStrata the total count.
+type Stratification struct {
+	Strata    []int
+	NumStrata int
+}
+
+// Stratify computes a stratification of the program, if one exists
+// (paper §1: stratified negation is the weaker semantics that the WFS
+// subsumes). A program is stratified iff no cycle in the predicate
+// dependency graph passes through a negative edge. The computation uses
+// iterative relaxation: stratum(head) ≥ stratum(positive body pred) and
+// stratum(head) > stratum(negative body pred); divergence beyond the
+// number of predicates certifies a negative cycle.
+func (p *Program) Stratify() (*Stratification, bool) {
+	n := p.Store.NumPreds()
+	strata := make([]int, n)
+	// The bound: in a stratified program strata never exceed the number
+	// of predicates.
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := int(r.Head.Pred)
+			for _, b := range r.PosBody {
+				if strata[h] < strata[b.Pred] {
+					strata[h] = strata[b.Pred]
+					changed = true
+				}
+			}
+			for _, b := range r.NegBody {
+				if strata[h] <= strata[b.Pred] {
+					strata[h] = strata[b.Pred] + 1
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > n+1 {
+			return nil, false
+		}
+		for _, s := range strata {
+			if s > n {
+				return nil, false
+			}
+		}
+	}
+	max := 0
+	for _, s := range strata {
+		if s > max {
+			max = s
+		}
+	}
+	return &Stratification{Strata: strata, NumStrata: max + 1}, true
+}
+
+// DependsOnNegatively reports whether predicate q occurs negatively in the
+// body of some rule with head predicate p (a direct negative dependency).
+func (p *Program) DependsOnNegatively(head, body atom.PredID) bool {
+	for _, r := range p.Rules {
+		if r.Head.Pred != head {
+			continue
+		}
+		for _, b := range r.NegBody {
+			if b.Pred == body {
+				return true
+			}
+		}
+	}
+	return false
+}

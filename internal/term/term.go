@@ -1,0 +1,274 @@
+// Package term implements the term universe of guarded normal Datalog±
+// under the unique name assumption (UNA): data constants from ∆, variables
+// from V, and labelled nulls from ∆N represented as ground Skolem terms
+// f_{σ,Z}(t1,…,tk) produced by the functional transformation of a program
+// (paper §2.1, §2.4).
+//
+// All terms are interned in a Store: two structurally equal terms always
+// receive the same ID, so term equality is integer equality. This is what
+// realizes the UNA over the Skolemized Herbrand universe: distinct constants
+// are distinct values, and a Skolem term equals another term only if they
+// are syntactically identical.
+package term
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an interned term within a Store.
+type ID int32
+
+// None is the null term ID, used as a sentinel.
+const None ID = -1
+
+// FunctorID identifies an interned Skolem functor within a Store.
+type FunctorID int32
+
+// Kind classifies a term.
+type Kind int8
+
+const (
+	// Const is a data constant from ∆.
+	Const Kind = iota
+	// Var is a variable from V (only appears in rules and queries).
+	Var
+	// Skolem is a ground Skolem term from ∆N (a labelled null).
+	Skolem
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Const:
+		return "const"
+	case Var:
+		return "var"
+	case Skolem:
+		return "skolem"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+type termData struct {
+	kind  Kind
+	name  string    // constant or variable name; empty for Skolem terms
+	fn    FunctorID // Skolem functor; -1 otherwise
+	args  []ID      // Skolem arguments; nil otherwise
+	depth int32     // nesting depth: 0 for constants/variables
+}
+
+type functorData struct {
+	name  string
+	arity int
+}
+
+// Store interns terms and Skolem functors. The zero value is not usable;
+// create stores with NewStore. A Store is not safe for concurrent mutation;
+// engines own their store.
+type Store struct {
+	terms    []termData
+	functors []functorData
+
+	constIdx   map[string]ID
+	varIdx     map[string]ID
+	skolemIdx  map[string]ID // key: packed functor + arg IDs
+	functorIdx map[string]FunctorID
+}
+
+// NewStore returns an empty term store.
+func NewStore() *Store {
+	return &Store{
+		constIdx:   make(map[string]ID),
+		varIdx:     make(map[string]ID),
+		skolemIdx:  make(map[string]ID),
+		functorIdx: make(map[string]FunctorID),
+	}
+}
+
+// Len reports the number of interned terms.
+func (s *Store) Len() int { return len(s.terms) }
+
+// NumFunctors reports the number of interned Skolem functors.
+func (s *Store) NumFunctors() int { return len(s.functors) }
+
+// Const interns the data constant with the given name and returns its ID.
+func (s *Store) Const(name string) ID {
+	if id, ok := s.constIdx[name]; ok {
+		return id
+	}
+	id := ID(len(s.terms))
+	s.terms = append(s.terms, termData{kind: Const, name: name, fn: -1})
+	s.constIdx[name] = id
+	return id
+}
+
+// Var interns the variable with the given name and returns its ID.
+// Variables live in the same ID space as other terms so substitutions can
+// be expressed as term-to-term maps.
+func (s *Store) Var(name string) ID {
+	if id, ok := s.varIdx[name]; ok {
+		return id
+	}
+	id := ID(len(s.terms))
+	s.terms = append(s.terms, termData{kind: Var, name: name, fn: -1})
+	s.varIdx[name] = id
+	return id
+}
+
+// Functor interns a Skolem functor f_{σ,Z} by name with a fixed arity.
+// Re-interning an existing name with a different arity is a programming
+// error and panics: functor identity includes its arity by construction.
+func (s *Store) Functor(name string, arity int) FunctorID {
+	if id, ok := s.functorIdx[name]; ok {
+		if got := s.functors[id].arity; got != arity {
+			panic(fmt.Sprintf("term: functor %q re-declared with arity %d (was %d)", name, arity, got))
+		}
+		return id
+	}
+	id := FunctorID(len(s.functors))
+	s.functors = append(s.functors, functorData{name: name, arity: arity})
+	s.functorIdx[name] = id
+	return id
+}
+
+// FunctorName returns the name of an interned functor.
+func (s *Store) FunctorName(f FunctorID) string { return s.functors[f].name }
+
+// FunctorArity returns the arity of an interned functor.
+func (s *Store) FunctorArity(f FunctorID) int { return s.functors[f].arity }
+
+// Skolem interns the ground Skolem term f(args...) and returns its ID.
+// All argument terms must be ground (constants or Skolem terms).
+func (s *Store) Skolem(f FunctorID, args []ID) ID {
+	if want := s.functors[f].arity; len(args) != want {
+		panic(fmt.Sprintf("term: functor %q applied to %d args, want %d", s.functors[f].name, len(args), want))
+	}
+	key := skolemKey(f, args)
+	if id, ok := s.skolemIdx[key]; ok {
+		return id
+	}
+	depth := int32(0)
+	for _, a := range args {
+		td := &s.terms[a]
+		if td.kind == Var {
+			panic("term: Skolem term with variable argument")
+		}
+		if td.depth >= depth {
+			depth = td.depth + 1
+		}
+	}
+	if depth == 0 {
+		depth = 1 // nullary Skolem terms still sit above the constants
+	}
+	own := make([]ID, len(args))
+	copy(own, args)
+	id := ID(len(s.terms))
+	s.terms = append(s.terms, termData{kind: Skolem, fn: f, args: own, depth: depth})
+	s.skolemIdx[key] = id
+	return id
+}
+
+func skolemKey(f FunctorID, args []ID) string {
+	buf := make([]byte, 4+4*len(args))
+	binary.LittleEndian.PutUint32(buf, uint32(f))
+	for i, a := range args {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(a))
+	}
+	return string(buf)
+}
+
+// Kind returns the kind of t.
+func (s *Store) Kind(t ID) Kind { return s.terms[t].kind }
+
+// IsGround reports whether t contains no variables. Constants and Skolem
+// terms are always ground (Skolem arguments are ground by construction).
+func (s *Store) IsGround(t ID) bool { return s.terms[t].kind != Var }
+
+// Name returns the name of a constant or variable, or "" for Skolem terms.
+func (s *Store) Name(t ID) string { return s.terms[t].name }
+
+// SkolemFunctor returns the functor of a Skolem term, or -1 otherwise.
+func (s *Store) SkolemFunctor(t ID) FunctorID { return s.terms[t].fn }
+
+// SkolemArgs returns the argument slice of a Skolem term (do not mutate),
+// or nil otherwise.
+func (s *Store) SkolemArgs(t ID) []ID { return s.terms[t].args }
+
+// Depth returns the Skolem-nesting depth of t: 0 for constants and
+// variables, 1+max(arg depths) for Skolem terms.
+func (s *Store) Depth(t ID) int { return int(s.terms[t].depth) }
+
+// LookupConst returns the ID of an already-interned constant.
+func (s *Store) LookupConst(name string) (ID, bool) {
+	id, ok := s.constIdx[name]
+	return id, ok
+}
+
+// Compare orders two ground terms per §2.1: a lexicographic order on
+// ∆ ∪ ∆N in which every labelled null follows all constants. Constants are
+// ordered by name; Skolem terms by functor name, then recursively by
+// arguments. Compare returns -1, 0, or +1.
+func (s *Store) Compare(a, b ID) int {
+	if a == b {
+		return 0
+	}
+	ta, tb := &s.terms[a], &s.terms[b]
+	if ta.kind != tb.kind {
+		// Constants precede Skolem terms (nulls follow all of ∆).
+		if ta.kind == Const {
+			return -1
+		}
+		return 1
+	}
+	switch ta.kind {
+	case Const, Var:
+		return strings.Compare(ta.name, tb.name)
+	default: // Skolem
+		fa, fb := s.functors[ta.fn].name, s.functors[tb.fn].name
+		if c := strings.Compare(fa, fb); c != 0 {
+			return c
+		}
+		if c := len(ta.args) - len(tb.args); c != 0 {
+			if c < 0 {
+				return -1
+			}
+			return 1
+		}
+		for i := range ta.args {
+			if c := s.Compare(ta.args[i], tb.args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// Sort sorts a slice of ground term IDs in the §2.1 order.
+func (s *Store) Sort(ts []ID) {
+	sort.Slice(ts, func(i, j int) bool { return s.Compare(ts[i], ts[j]) < 0 })
+}
+
+// String renders a term. Constants and variables print their name; Skolem
+// terms print functor(args...).
+func (s *Store) String(t ID) string {
+	td := &s.terms[t]
+	switch td.kind {
+	case Const, Var:
+		return td.name
+	default:
+		var b strings.Builder
+		b.WriteString(s.functors[td.fn].name)
+		b.WriteByte('(')
+		for i, a := range td.args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(s.String(a))
+		}
+		b.WriteByte(')')
+		return b.String()
+	}
+}

@@ -1,0 +1,240 @@
+// Package wfs is the public API of this reproduction of
+//
+//	Hernich, Kupke, Lukasiewicz, Gottlob:
+//	"Well-Founded Semantics for Extended Datalog and Ontological
+//	Reasoning", PODS 2013,
+//
+// providing the standard well-founded semantics (WFS) for guarded normal
+// Datalog± under the unique name assumption, with decidable normal Boolean
+// conjunctive query (NBCQ) answering.
+//
+// Quick start:
+//
+//	sys, err := wfs.Load(`
+//	    scientist(john).
+//	    scientist(X) -> isAuthorOf(X, Y).
+//	    conferencePaper(X) -> article(X).
+//	`)
+//	ans, err := sys.Answer("? isAuthorOf(john, X).")
+//	// ans == wfs.True
+//
+// See the examples/ directory for complete programs, internal/core for the
+// engine, and DESIGN.md for the system inventory.
+package wfs
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+// Truth is the three-valued truth of the well-founded semantics.
+type Truth = ground.Truth
+
+// Truth values.
+const (
+	False     = ground.False
+	Undefined = ground.Undefined
+	True      = ground.True
+)
+
+// Options re-exports the engine options (chase depth, algorithm choice,
+// adaptive-deepening and guard-band parameters).
+type Options = core.Options
+
+// System bundles a compiled guarded normal Datalog± program, its database,
+// and an evaluation engine.
+type System struct {
+	Store   *atom.Store
+	Prog    *program.Program
+	DB      program.Database
+	Queries []*program.Query
+
+	opts   Options
+	engine *core.Engine
+}
+
+// Load parses and compiles a source unit (facts, rules, constraints, EGDs,
+// and optional '?' queries) with default options.
+func Load(src string) (*System, error) { return LoadWithOptions(src, Options{}) }
+
+// LoadWithOptions is Load with explicit engine options.
+func LoadWithOptions(src string, opts Options) (*System, error) {
+	st := atom.NewStore(term.NewStore())
+	prog, db, queries, err := program.CompileText(src, st)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Store: st, Prog: prog, DB: db, Queries: queries, opts: opts}, nil
+}
+
+// AddFact adds the ground fact pred(args...) to the database, creating the
+// predicate if needed, and invalidates cached evaluation state.
+func (s *System) AddFact(pred string, args ...string) error {
+	p, err := s.Store.Pred(pred, len(args))
+	if err != nil {
+		return err
+	}
+	ts := make([]term.ID, len(args))
+	for i, a := range args {
+		ts[i] = s.Store.Terms.Const(a)
+	}
+	s.DB = append(s.DB, s.Store.Atom(p, ts))
+	s.engine = nil
+	return nil
+}
+
+// Engine returns (building if necessary) the evaluation engine.
+func (s *System) Engine() *core.Engine {
+	if s.engine == nil {
+		s.engine = core.NewEngine(s.Prog, s.DB, s.opts)
+	}
+	return s.engine
+}
+
+// Model evaluates (and caches) the well-founded model at the configured
+// depth.
+func (s *System) Model() *core.Model { return s.Engine().Evaluate() }
+
+// Answer parses an NBCQ (with or without leading '?') and answers it via
+// adaptive deepening, returning the three-valued answer.
+func (s *System) Answer(query string) (Truth, error) {
+	q, err := program.ParseQuery(query, s.Store)
+	if err != nil {
+		return False, err
+	}
+	ans, _ := s.Engine().Answer(q)
+	return ans, nil
+}
+
+// AnswerWithStats is Answer returning the adaptive-deepening trace.
+func (s *System) AnswerWithStats(query string) (Truth, *core.AnswerStats, error) {
+	q, err := program.ParseQuery(query, s.Store)
+	if err != nil {
+		return False, nil, err
+	}
+	ans, stats := s.Engine().Answer(q)
+	return ans, stats, nil
+}
+
+// QueryResult pairs an embedded query with its answer.
+type QueryResult struct {
+	Query  string
+	Answer Truth
+}
+
+// Select returns the certain answers of a non-Boolean query as tuples of
+// constant names in the query's variable order (§2.1: answers are tuples
+// over ∆, so bindings to labelled nulls are excluded). The first return
+// lists the variable names.
+func (s *System) Select(query string) ([]string, [][]string, error) {
+	q, err := program.ParseQuery(query, s.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples := s.Model().Select(q)
+	out := make([][]string, len(tuples))
+	for i, tup := range tuples {
+		row := make([]string, len(tup))
+		for j, t := range tup {
+			row[j] = s.Store.Terms.String(t)
+		}
+		out[i] = row
+	}
+	return append([]string(nil), q.VarNames...), out, nil
+}
+
+// AnswerAll answers every query embedded in the loaded source.
+func (s *System) AnswerAll() []QueryResult {
+	out := make([]QueryResult, 0, len(s.Queries))
+	for _, q := range s.Queries {
+		ans, _ := s.Engine().Answer(q)
+		out = append(out, QueryResult{Query: q.Label, Answer: ans})
+	}
+	return out
+}
+
+// parseGroundAtom parses "pred(c1,…,cn)" into an interned ground atom.
+func (s *System) parseGroundAtom(src string) (atom.AtomID, error) {
+	q, err := program.ParseQuery(src, s.Store)
+	if err != nil {
+		return atom.NoAtom, err
+	}
+	if len(q.Pos) != 1 || len(q.Neg) != 0 || q.NumVars != 0 {
+		return atom.NoAtom, fmt.Errorf("wfs: %q is not a single ground atom", src)
+	}
+	sub := atom.NewSubst(0)
+	return s.Store.Instantiate(q.Pos[0], sub), nil
+}
+
+// TruthOf returns the truth of a ground atom written in surface syntax,
+// e.g. TruthOf("win(a)").
+func (s *System) TruthOf(atomSrc string) (Truth, error) {
+	a, err := s.parseGroundAtom(atomSrc)
+	if err != nil {
+		return False, err
+	}
+	return s.Model().Truth(a), nil
+}
+
+// ExplainAtom renders a forward proof (Definition 5) of a true ground
+// atom, or returns false when the atom is not true in the model.
+func (s *System) ExplainAtom(atomSrc string) (string, bool) {
+	a, err := s.parseGroundAtom(atomSrc)
+	if err != nil {
+		return "", false
+	}
+	proof, ok := s.Model().Explain(a)
+	if !ok {
+		return "", false
+	}
+	return proof.Render(s.Store), true
+}
+
+// WCheck runs the goal-directed membership check on a ground atom.
+func (s *System) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
+	a, err := s.parseGroundAtom(atomSrc)
+	if err != nil {
+		return False, nil, err
+	}
+	t, stats := s.Model().WCheck(a)
+	return t, stats, nil
+}
+
+// TrueFacts renders all true atoms of the model, sorted.
+func (s *System) TrueFacts() []string { return s.renderAtoms(ground.True) }
+
+// UndefinedFacts renders all undefined atoms of the model, sorted.
+func (s *System) UndefinedFacts() []string { return s.renderAtoms(ground.Undefined) }
+
+func (s *System) renderAtoms(tv Truth) []string {
+	m := s.Model()
+	var out []string
+	for i, g := range m.GP.Atoms {
+		if m.GM.Truth[i] == tv {
+			out = append(out, s.Store.String(g))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckConstraints evaluates the program's negative constraints and EGDs
+// against the model.
+func (s *System) CheckConstraints() []core.Violation { return s.Model().CheckConstraints() }
+
+// DeltaBound returns the Proposition 12 constant δ for the loaded schema.
+func (s *System) DeltaBound() *big.Int { return core.DeltaForSchema(s.Store) }
+
+// Stratified reports whether the program is stratified, in which case the
+// stratified baseline semantics applies and coincides with the WFS.
+func (s *System) Stratified() bool {
+	_, ok := s.Prog.Stratify()
+	return ok
+}
