@@ -1,0 +1,91 @@
+// Command wfsd serves the WFS engine over HTTP/JSON: named sessions of
+// loaded guarded normal Datalog± programs, incremental fact assertion,
+// NBCQ answering with adaptive deepening, non-Boolean selection,
+// ground-atom truth and proofs, and engine statistics — with an LRU
+// answer cache and bounded request concurrency in front.
+//
+// Usage:
+//
+//	wfsd [-addr :8080] [-max-sessions N] [-cache-size N]
+//	     [-max-concurrent N] [-preload prog.dl [-preload-name default]]
+//
+// Endpoints are listed in the package documentation of internal/server
+// and in README.md. SIGINT/SIGTERM trigger a graceful drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	wfs "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxSessions   = flag.Int("max-sessions", server.DefaultMaxSessions, "max live sessions (-1 = unlimited)")
+		cacheSize     = flag.Int("cache-size", server.DefaultCacheSize, "answer cache entries (-1 = disabled)")
+		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests (-1 = unlimited)")
+		preload       = flag.String("preload", "", "program file to load at startup")
+		preloadName   = flag.String("preload-name", "default", "session name for -preload")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "wfsd: ", log.LstdFlags)
+
+	srv := server.New(server.Config{
+		MaxSessions:   *maxSessions,
+		CacheSize:     *cacheSize,
+		MaxConcurrent: *maxConcurrent,
+		Logger:        logger,
+	})
+	if *preload != "" {
+		src, err := os.ReadFile(*preload)
+		if err != nil {
+			logger.Fatalf("preload: %v", err)
+		}
+		if _, err := srv.Registry().Create(*preloadName, string(src), wfs.Options{}); err != nil {
+			logger.Fatalf("preload %s: %v", *preload, err)
+		}
+		logger.Printf("preloaded %s as session %q", *preload, *preloadName)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down (waiting up to %s for in-flight requests)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wfsd: bye")
+	}
+}

@@ -1,0 +1,131 @@
+package wfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSystemConcurrentUse hammers one System from many goroutines mixing
+// reads (Answer, Select, TruthOf, Stats) with writes (AddFact). Run under
+// -race (as CI does) this guards the serialization contract documented on
+// System: the old lazy `s.engine = nil` pattern raced here.
+func TestSystemConcurrentUse(t *testing.T) {
+	sys, err := Load(`
+		move(a,b). move(b,a). move(b,c).
+		move(X,Y), not win(Y) -> win(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch g % 4 {
+				case 0:
+					if g == 0 && i%4 == 3 {
+						if err := sys.AddFact("move", fmt.Sprintf("n%d", i), "c"); err != nil {
+							errs <- err
+						}
+						continue
+					}
+					if tv, err := sys.Answer("win(b)"); err != nil {
+						errs <- err
+					} else if tv != True {
+						errs <- fmt.Errorf("win(b) = %v, want true", tv)
+					}
+				case 1:
+					if _, _, err := sys.Select("? win(X)."); err != nil {
+						errs <- err
+					}
+				case 2:
+					if _, err := sys.TruthOf("win(c)"); err != nil {
+						errs <- err
+					}
+				default:
+					st := sys.Stats()
+					if st.Facts < 3 {
+						errs <- fmt.Errorf("stats facts = %d, want ≥ 3", st.Facts)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if sys.Epoch() == 0 {
+		t.Errorf("epoch never advanced despite writes")
+	}
+}
+
+func TestEpochAndInvalidation(t *testing.T) {
+	sys, err := Load(`p(X) -> q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Epoch() != 0 {
+		t.Errorf("fresh epoch = %d, want 0", sys.Epoch())
+	}
+	if err := sys.AddFact("p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Epoch() != 1 {
+		t.Errorf("epoch after AddFact = %d, want 1", sys.Epoch())
+	}
+	if tv, _ := sys.TruthOf("q(a)"); tv != True {
+		t.Errorf("q(a) = %v, want true after invalidation", tv)
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"win(b)", "? win(b)."},
+		{"?   win( b ) .", "? win(b)."},
+		{"? p(X), not q(X).", "? p(X), not q(X)."},
+	} {
+		got, err := NormalizeQuery(tc.in)
+		if err != nil {
+			t.Errorf("NormalizeQuery(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if _, err := NormalizeQuery("p("); err == nil {
+		t.Errorf("NormalizeQuery accepted malformed input")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sys, err := Load(`
+		scientist(john).
+		scientist(X) -> isAuthorOf(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Facts != 1 || !st.Stratified {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Model.TrueAtoms == 0 || st.Model.ChaseAtoms == 0 {
+		t.Errorf("model stats empty: %+v", st.Model)
+	}
+	if st.Model.MaxDepthReached == 0 {
+		t.Errorf("existential rule should derive at depth > 0")
+	}
+	if st.DeltaBits == 0 || st.DeltaBound == "" {
+		t.Errorf("δ missing: %+v", st)
+	}
+	if st.Algorithm != "alternating-fixpoint" {
+		t.Errorf("algorithm = %q", st.Algorithm)
+	}
+}

@@ -5,18 +5,31 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/atom"
 	"repro/internal/term"
 )
 
 // LoadCSV bulk-loads rows of a CSV stream as facts of the given predicate:
 // each record r1,…,rn becomes pred(r1,…,rn), with every field a constant.
 // All records must have the predicate's arity (fixed by the first record
-// if the predicate is new). Returns the number of facts added.
+// if the predicate is new). Returns the number of facts added. Like
+// AddFact, a non-empty load bumps the epoch and invalidates cached
+// evaluation state — including on error, since earlier records may already
+// have been added.
 func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // we do our own arity check, with a better message
 	n := 0
-	var arity = -1
+	defer func() {
+		if n > 0 {
+			s.invalidateLocked()
+		}
+	}()
+	arity := -1
+	var p atom.PredID
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -27,16 +40,12 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 		}
 		if arity < 0 {
 			arity = len(rec)
-			if _, err := s.Store.Pred(pred, arity); err != nil {
+			if p, err = s.Store.Pred(pred, arity); err != nil {
 				return n, err
 			}
 		} else if len(rec) != arity {
 			return n, fmt.Errorf("wfs: csv for %s: record %d has %d fields, want %d",
 				pred, n+1, len(rec), arity)
-		}
-		p, err := s.Store.Pred(pred, arity)
-		if err != nil {
-			return n, err
 		}
 		args := make([]term.ID, arity)
 		for i, f := range rec {
@@ -45,6 +54,5 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 		s.DB = append(s.DB, s.Store.Atom(p, args))
 		n++
 	}
-	s.engine = nil
 	return n, nil
 }

@@ -1,0 +1,116 @@
+package wfs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	sys, err := Load(`employee(X, Y) -> person(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := "ada, research\nbabbage, engineering\nada, research\n"
+	n, err := sys.LoadCSV("employee", strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("loaded %d records, want 3", n)
+	}
+	// Duplicate rows intern to the same atom but still append to the DB.
+	if got := sys.NumFacts(); got != 3 {
+		t.Errorf("NumFacts = %d, want 3", got)
+	}
+
+	// The loaded facts drive derivations.
+	for _, atom := range []string{"employee(ada,research)", "person(ada)", "person(babbage)"} {
+		tv, err := sys.TruthOf(atom)
+		if err != nil {
+			t.Fatalf("TruthOf(%s): %v", atom, err)
+		}
+		if tv != True {
+			t.Errorf("TruthOf(%s) = %v, want true", atom, tv)
+		}
+	}
+	vars, rows, err := sys.Select("? employee(X, D).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || len(rows) != 2 {
+		t.Errorf("Select: vars %v rows %v, want 2 vars, 2 distinct rows", vars, rows)
+	}
+}
+
+func TestLoadCSVBumpsEpoch(t *testing.T) {
+	sys, err := Load(`p(X) -> q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer once so the engine is built, then ensure the load drops it.
+	if tv, err := sys.TruthOf("q(a)"); err != nil || tv != False {
+		t.Fatalf("q(a) before load: %v, %v", tv, err)
+	}
+	e0 := sys.Epoch()
+	if _, err := sys.LoadCSV("p", strings.NewReader("a\n")); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Epoch() == e0 {
+		t.Errorf("epoch unchanged by LoadCSV")
+	}
+	if tv, _ := sys.TruthOf("q(a)"); tv != True {
+		t.Errorf("q(a) after load = %v, want true", tv)
+	}
+
+	// An empty load adds nothing and must not invalidate.
+	e1 := sys.Epoch()
+	n, err := sys.LoadCSV("p", strings.NewReader(""))
+	if err != nil || n != 0 {
+		t.Fatalf("empty load: n=%d err=%v", n, err)
+	}
+	if sys.Epoch() != e1 {
+		t.Errorf("empty load bumped epoch")
+	}
+}
+
+func TestLoadCSVMalformedRow(t *testing.T) {
+	sys, err := Load(`r(a, b).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bare quote mid-field is a CSV syntax error.
+	_, err = sys.LoadCSV("r", strings.NewReader("x, y\nbad\"field, z\n"))
+	if err == nil {
+		t.Fatalf("malformed CSV accepted")
+	}
+	if !strings.Contains(err.Error(), "csv for r") {
+		t.Errorf("error %q does not name the predicate", err)
+	}
+}
+
+func TestLoadCSVArityMismatch(t *testing.T) {
+	// Mismatch between records of one stream.
+	sys, err := Load(`t(a, b).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.LoadCSV("t", strings.NewReader("x, y\nlonely\n"))
+	if err == nil {
+		t.Fatalf("ragged CSV accepted")
+	}
+	if n != 1 {
+		t.Errorf("records before error = %d, want 1", n)
+	}
+	if !strings.Contains(err.Error(), "want 2") {
+		t.Errorf("error %q does not report expected arity", err)
+	}
+
+	// Mismatch against the predicate's declared arity.
+	sys2, err := Load(`u(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.LoadCSV("u", strings.NewReader("x, y\n")); err == nil {
+		t.Fatalf("arity-violating CSV accepted")
+	}
+}

@@ -235,6 +235,49 @@ func (m *Model) buildIndexes() {
 	}
 }
 
+// ModelStats summarizes an evaluated model for reporting layers (CLIs,
+// the wfsd stats endpoint): chase shape, exactness, and the three-valued
+// census of the ground model.
+type ModelStats struct {
+	Depth           int  // chase depth bound the model was evaluated at
+	MaxDepthReached int  // deepest atom actually derived
+	Exact           bool // chase saturated: genuine well-founded model
+	Truncated       bool // MaxAtoms stopped the chase early
+	UsableDepth     int  // guard-band ceiling for query matching; -1 = all
+
+	ChaseAtoms     int // derived universe size
+	ChaseInstances int // rule instances fired by the chase
+
+	TrueAtoms      int // atoms true in the model
+	UndefinedAtoms int // atoms undefined in the model
+	FalseAtoms     int // derived atoms that are false
+}
+
+// Stats computes the model's summary statistics.
+func (m *Model) Stats() ModelStats {
+	cs := m.Chase.ComputeStats()
+	s := ModelStats{
+		Depth:           m.Chase.Opts.MaxDepth,
+		MaxDepthReached: cs.MaxDepth,
+		Exact:           m.Exact,
+		Truncated:       cs.Truncated,
+		UsableDepth:     m.UsableDepth,
+		ChaseAtoms:      cs.Atoms,
+		ChaseInstances:  cs.Instances,
+	}
+	for _, t := range m.GM.Truth {
+		switch t {
+		case ground.True:
+			s.TrueAtoms++
+		case ground.Undefined:
+			s.UndefinedAtoms++
+		default:
+			s.FalseAtoms++
+		}
+	}
+	return s
+}
+
 // AnswerStats records how an adaptive answer was obtained.
 type AnswerStats struct {
 	Depths     []int          // depths evaluated

@@ -1,0 +1,237 @@
+// Package server implements wfsd's HTTP/JSON serving layer over the WFS
+// engine: a registry of named loaded programs ("sessions"), an LRU answer
+// cache keyed by (session, epoch, normalized query), bounded request
+// concurrency, and handlers for program loading, incremental fact
+// assertion, NBCQ answering, non-Boolean selection, ground-atom
+// truth/explanation, and statistics. See DESIGN.md §Server.
+//
+// API summary (all request/response bodies JSON):
+//
+//	GET    /v1/healthz                     liveness
+//	GET    /v1/stats                       server-wide stats
+//	GET    /v1/sessions                    list sessions
+//	POST   /v1/sessions                    create session {name, program, options?}
+//	GET    /v1/sessions/{name}             session info
+//	DELETE /v1/sessions/{name}             delete session
+//	POST   /v1/sessions/{name}/facts      add facts {facts: [{pred, args}]}
+//	POST   /v1/sessions/{name}/query      NBCQ answer {query}
+//	POST   /v1/sessions/{name}/select     non-Boolean select {query}
+//	POST   /v1/sessions/{name}/truth      ground-atom truth {atom}
+//	POST   /v1/sessions/{name}/explain    forward proof {atom}
+//	GET    /v1/sessions/{name}/stats      engine/model stats
+package server
+
+import (
+	"fmt"
+
+	wfs "repro"
+	"repro/internal/core"
+)
+
+// SessionOptions is the JSON surface of core.Options. Zero/absent fields
+// select engine defaults.
+type SessionOptions struct {
+	Depth           int    `json:"depth,omitempty"`
+	MaxAtoms        int    `json:"max_atoms,omitempty"`
+	Algorithm       string `json:"algorithm,omitempty"` // alternating-fixpoint | unfounded-sets | forward-proofs | remainder
+	AdaptiveStart   int    `json:"adaptive_start,omitempty"`
+	AdaptiveStep    int    `json:"adaptive_step,omitempty"`
+	StabilityWindow int    `json:"stability_window,omitempty"`
+	MaxDepth        int    `json:"max_depth,omitempty"`
+	GuardBand       int    `json:"guard_band,omitempty"`
+}
+
+// toOptions translates the JSON options into engine options.
+func (o *SessionOptions) toOptions() (wfs.Options, error) {
+	if o == nil {
+		return wfs.Options{}, nil
+	}
+	opts := wfs.Options{
+		Depth:           o.Depth,
+		MaxAtoms:        o.MaxAtoms,
+		AdaptiveStart:   o.AdaptiveStart,
+		AdaptiveStep:    o.AdaptiveStep,
+		StabilityWindow: o.StabilityWindow,
+		MaxDepth:        o.MaxDepth,
+		GuardBand:       o.GuardBand,
+	}
+	switch o.Algorithm {
+	case "", "alternating-fixpoint":
+		opts.Algorithm = core.AltFixpoint
+	case "unfounded-sets":
+		opts.Algorithm = core.UnfoundedSets
+	case "forward-proofs":
+		opts.Algorithm = core.ForwardProofs
+	case "remainder":
+		opts.Algorithm = core.Remainder
+	default:
+		return wfs.Options{}, fmt.Errorf("unknown algorithm %q", o.Algorithm)
+	}
+	return opts, nil
+}
+
+// CreateSessionRequest loads a program under a name.
+type CreateSessionRequest struct {
+	Name    string          `json:"name"`
+	Program string          `json:"program"`
+	Options *SessionOptions `json:"options,omitempty"`
+}
+
+// SessionInfo describes a live session.
+type SessionInfo struct {
+	Name      string `json:"name"`
+	CreatedAt string `json:"created_at"` // RFC 3339
+	Facts     int    `json:"facts"`
+	Epoch     uint64 `json:"epoch"`
+	Queries   int    `json:"embedded_queries"`
+}
+
+// SessionListResponse lists live sessions.
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// Fact is one ground fact pred(args...).
+type Fact struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// AddFactsRequest asserts facts into a session.
+type AddFactsRequest struct {
+	Facts []Fact `json:"facts"`
+}
+
+// AddFactsResponse reports the post-write database state.
+type AddFactsResponse struct {
+	Added int    `json:"added"`
+	Facts int    `json:"facts"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// QueryRequest answers an NBCQ (query) or evaluates a ground atom (atom),
+// depending on the endpoint.
+type QueryRequest struct {
+	Query string `json:"query,omitempty"`
+	Atom  string `json:"atom,omitempty"`
+}
+
+// AnswerStats mirrors core.AnswerStats in JSON form.
+type AnswerStats struct {
+	Depths     []int    `json:"depths"`
+	Answers    []string `json:"answers"`
+	FinalDepth int      `json:"final_depth"`
+	Exact      bool     `json:"exact"`
+	Stable     bool     `json:"stable"`
+}
+
+func answerStatsDTO(s *core.AnswerStats) *AnswerStats {
+	if s == nil {
+		return nil
+	}
+	out := &AnswerStats{
+		Depths:     s.Depths,
+		FinalDepth: s.FinalDepth,
+		Exact:      s.Exact,
+		Stable:     s.Stable,
+	}
+	for _, a := range s.Answers {
+		out.Answers = append(out.Answers, a.String())
+	}
+	return out
+}
+
+// QueryResponse is the answer to an NBCQ.
+type QueryResponse struct {
+	Query  string       `json:"query"` // normalized form
+	Answer string       `json:"answer"`
+	Cached bool         `json:"cached"`
+	Stats  *AnswerStats `json:"stats,omitempty"`
+}
+
+// SelectResponse is the certain-answer relation of a non-Boolean query.
+type SelectResponse struct {
+	Query  string     `json:"query"` // normalized form
+	Vars   []string   `json:"vars"`
+	Tuples [][]string `json:"tuples"`
+	Cached bool       `json:"cached"`
+}
+
+// TruthResponse is the three-valued truth of a ground atom.
+type TruthResponse struct {
+	Atom   string `json:"atom"`
+	Truth  string `json:"truth"`
+	Cached bool   `json:"cached"`
+}
+
+// ExplainResponse is a rendered forward proof of a true ground atom.
+type ExplainResponse struct {
+	Atom   string `json:"atom"`
+	True   bool   `json:"true"`
+	Proof  string `json:"proof,omitempty"`
+	Cached bool   `json:"cached"`
+}
+
+// ModelStats mirrors core.ModelStats in JSON form.
+type ModelStats struct {
+	Depth           int  `json:"depth"`
+	MaxDepthReached int  `json:"max_depth_reached"`
+	Exact           bool `json:"exact"`
+	Truncated       bool `json:"truncated"`
+	UsableDepth     int  `json:"usable_depth"`
+	ChaseAtoms      int  `json:"chase_atoms"`
+	ChaseInstances  int  `json:"chase_instances"`
+	TrueAtoms       int  `json:"true_atoms"`
+	UndefinedAtoms  int  `json:"undefined_atoms"`
+	FalseAtoms      int  `json:"false_atoms"`
+}
+
+// SessionStatsResponse reports engine/model statistics for one session.
+type SessionStatsResponse struct {
+	Name       string     `json:"name"`
+	Facts      int        `json:"facts"`
+	Epoch      uint64     `json:"epoch"`
+	Algorithm  string     `json:"algorithm"`
+	Stratified bool       `json:"stratified"`
+	DeltaBound string     `json:"delta_bound"`
+	DeltaBits  int        `json:"delta_bits"`
+	Model      ModelStats `json:"model"`
+}
+
+func sessionStatsDTO(name string, st wfs.Stats) SessionStatsResponse {
+	return SessionStatsResponse{
+		Name:       name,
+		Facts:      st.Facts,
+		Epoch:      st.Epoch,
+		Algorithm:  st.Algorithm,
+		Stratified: st.Stratified,
+		DeltaBound: st.DeltaBound,
+		DeltaBits:  st.DeltaBits,
+		Model: ModelStats{
+			Depth:           st.Model.Depth,
+			MaxDepthReached: st.Model.MaxDepthReached,
+			Exact:           st.Model.Exact,
+			Truncated:       st.Model.Truncated,
+			UsableDepth:     st.Model.UsableDepth,
+			ChaseAtoms:      st.Model.ChaseAtoms,
+			ChaseInstances:  st.Model.ChaseInstances,
+			TrueAtoms:       st.Model.TrueAtoms,
+			UndefinedAtoms:  st.Model.UndefinedAtoms,
+			FalseAtoms:      st.Model.FalseAtoms,
+		},
+	}
+}
+
+// ServerStatsResponse reports server-wide statistics.
+type ServerStatsResponse struct {
+	Sessions      int        `json:"sessions"`
+	Cache         CacheStats `json:"cache"`
+	InFlight      int64      `json:"in_flight"`
+	MaxConcurrent int        `json:"max_concurrent"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Cache is a mutex-guarded LRU answer cache. Keys embed the owning
+// session's process-unique ID and database epoch (see answerKey), so a
+// fact write — which bumps the epoch — implicitly invalidates every
+// cached answer for that session: post-write lookups construct keys the
+// cache has never seen, and the stale entries age out of the LRU. Keying
+// by ID rather than name means a session deleted and recreated under the
+// same name (whose epoch restarts at zero) can never hit the earlier
+// incarnation's entries. Deleting a session purges its entries eagerly
+// via DeleteSession.
+//
+// A Cache with capacity 0 is valid and caches nothing.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key → element whose Value is *cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an LRU cache bounded to capacity entries.
+func NewCache(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// keySep separates the key components; none of them can contain it
+// (IDs and epochs render as digits, kinds are fixed literals, and the
+// normalized query text cannot contain a NUL).
+const keySep = "\x00"
+
+// answerKey builds a cache key scoped to a session (by process-unique
+// ID) at a database epoch. kind distinguishes endpoint result types
+// ("answer", "select", …) and norm is the normalized query text.
+func answerKey(sessionID, epoch uint64, kind, norm string) string {
+	var b strings.Builder
+	b.Grow(len(kind) + len(norm) + 44)
+	b.WriteString(strconv.FormatUint(sessionID, 10))
+	b.WriteString(keySep)
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	b.WriteString(keySep)
+	b.WriteString(kind)
+	b.WriteString(keySep)
+	b.WriteString(norm)
+	return b.String()
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *Cache) Put(key string, val any) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// DeleteSession drops every entry belonging to the session with the
+// given ID, returning how many were removed.
+func (c *Cache) DeleteSession(sessionID uint64) int {
+	prefix := strconv.FormatUint(sessionID, 10) + keySep
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats snapshots hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Errorf("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Errorf("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Errorf("c missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", "old")
+	c.Put("k", "new")
+	if v, _ := c.Get("k"); v != "new" {
+		t.Errorf("Get(k) = %v, want new", v)
+	}
+	if n := c.Stats().Entries; n != 1 {
+		t.Errorf("entries = %d, want 1 (refresh, not duplicate)", n)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Errorf("disabled cache stored an entry")
+	}
+}
+
+func TestCacheDeleteSession(t *testing.T) {
+	c := NewCache(16)
+	c.Put(answerKey(11, 1, "answer", "? p(a)."), 1)
+	c.Put(answerKey(11, 2, "select", "? p(X)."), 2)
+	c.Put(answerKey(2, 1, "answer", "? p(a)."), 3)
+	// A session whose rendered ID prefixes another (1 vs 11) must not
+	// purge its neighbor.
+	c.Put(answerKey(1, 1, "answer", "? p(a)."), 4)
+	if n := c.DeleteSession(11); n != 2 {
+		t.Errorf("DeleteSession(11) = %d, want 2", n)
+	}
+	if _, ok := c.Get(answerKey(2, 1, "answer", "? p(a).")); !ok {
+		t.Errorf("session 2 entry purged")
+	}
+	if _, ok := c.Get(answerKey(1, 1, "answer", "? p(a).")); !ok {
+		t.Errorf("prefix-ID session 1 purged by DeleteSession(11)")
+	}
+	if n := c.Stats().Entries; n != 2 {
+		t.Errorf("entries = %d, want 2", n)
+	}
+}
+
+func TestCacheKeySeparation(t *testing.T) {
+	// Distinct (session, epoch, kind, query) must never collide, even
+	// when digits could regroup across the ID/epoch boundary.
+	keys := map[string]bool{
+		answerKey(1, 1, "answer", "? p(a)."):  true,
+		answerKey(1, 2, "answer", "? p(a)."):  true,
+		answerKey(1, 1, "select", "? p(a)."):  true,
+		answerKey(1, 1, "answer", "? p(b)."):  true,
+		answerKey(2, 1, "answer", "? p(a)."):  true,
+		answerKey(1, 12, "answer", "? p(a)."): true,
+		answerKey(11, 2, "answer", "? p(a)."): true,
+	}
+	if len(keys) != 7 {
+		t.Errorf("key collision: only %d distinct keys", len(keys))
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, i)
+				c.Get(key)
+				if i%50 == 0 {
+					c.DeleteSession(uint64(g)) // prefix churn
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	wfs "repro"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ServerStatsResponse{
+		Sessions:      s.reg.Len(),
+		Cache:         s.cache.Stats(),
+		InFlight:      s.limiter.inFlight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) sessionInfo(sess *Session) SessionInfo {
+	facts, epoch := sess.Sys.FactsEpoch()
+	return SessionInfo{
+		Name:      sess.Name,
+		CreatedAt: sess.CreatedAt.UTC().Format(time.RFC3339),
+		Facts:     facts,
+		Epoch:     epoch,
+		Queries:   len(sess.Sys.Queries),
+	}
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Create(req.Name, req.Program, opts)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	resp := SessionListResponse{Sessions: []SessionInfo{}} // JSON: [] not null
+	for _, name := range s.reg.Names() {
+		if sess, err := s.reg.Get(name); err == nil {
+			resp.Sessions = append(resp.Sessions, s.sessionInfo(sess))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// session resolves the {name} path parameter, writing a 404 on failure.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	sess, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+	}
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sess := s.reg.Delete(name)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &ErrNoSession{Name: name})
+		return
+	}
+	s.cache.DeleteSession(sess.ID())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req AddFactsRequest
+	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Facts) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no facts given"))
+		return
+	}
+	for _, f := range req.Facts {
+		if f.Pred == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("fact with empty predicate"))
+			return
+		}
+	}
+	added := 0
+	for _, f := range req.Facts {
+		if err := sess.Sys.AddFact(f.Pred, f.Args...); err != nil {
+			// Earlier facts of the batch are already in; the epoch bump
+			// has invalidated cached answers, so report honestly.
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("fact %d (%s/%d): %w (added %d of %d)", added, f.Pred, len(f.Args), err, added, len(req.Facts)))
+			return
+		}
+		added++
+	}
+	facts, epoch := sess.Sys.FactsEpoch()
+	writeJSON(w, http.StatusOK, AddFactsResponse{Added: added, Facts: facts, Epoch: epoch})
+}
+
+// cachedQuery wraps the fetch-normalize-lookup-compute-store cycle shared
+// by the query-shaped endpoints. compute runs on a cache miss; its result
+// is cached only if the session epoch is unchanged afterwards (a
+// concurrent fact write between the epoch read and the computation could
+// otherwise pin an answer computed against newer facts under the old
+// epoch's key).
+func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func() (any, error)) (any, bool, error) {
+	epoch := sess.Sys.Epoch()
+	key := answerKey(sess.ID(), epoch, kind, norm)
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	// Cache only if the epoch is unchanged AND the session is still the
+	// registered one: a concurrent DELETE purges the cache by session ID,
+	// and a Put landing after that purge would squat unreachably in the
+	// LRU until it ages out. The re-check shrinks that window from the
+	// whole evaluation to the instants before Put; the LRU bound handles
+	// the residue.
+	if sess.Sys.Epoch() == epoch {
+		if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
+			s.cache.Put(key, v)
+		}
+	}
+	return v, false, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess, norm, ok := s.queryInput(w, r, "query")
+	if !ok {
+		return
+	}
+	v, cached, err := s.cachedQuery(sess, "answer", norm, func() (any, error) {
+		ans, stats, err := sess.Sys.AnswerWithStats(norm)
+		if err != nil {
+			return nil, err
+		}
+		return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := v.(QueryResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	sess, norm, ok := s.queryInput(w, r, "query")
+	if !ok {
+		return
+	}
+	v, cached, err := s.cachedQuery(sess, "select", norm, func() (any, error) {
+		vars, tuples, err := sess.Sys.Select(norm)
+		if err != nil {
+			return nil, err
+		}
+		if vars == nil {
+			vars = []string{} // JSON: [] not null (ground query)
+		}
+		if tuples == nil {
+			tuples = [][]string{}
+		}
+		return SelectResponse{Query: norm, Vars: vars, Tuples: tuples}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := v.(SelectResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
+	sess, norm, ok := s.queryInput(w, r, "atom")
+	if !ok {
+		return
+	}
+	v, cached, err := s.cachedQuery(sess, "truth", norm, func() (any, error) {
+		t, err := sess.Sys.TruthOf(norm)
+		if err != nil {
+			return nil, err
+		}
+		return TruthResponse{Atom: norm, Truth: t.String()}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := v.(TruthResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sess, norm, ok := s.queryInput(w, r, "atom")
+	if !ok {
+		return
+	}
+	// ExplainAtom folds parse errors into "not true"; pre-validate with
+	// TruthOf so a malformed atom is a 400, not an empty proof.
+	v, cached, err := s.cachedQuery(sess, "explain", norm, func() (any, error) {
+		if _, err := sess.Sys.TruthOf(norm); err != nil {
+			return nil, err
+		}
+		proof, isTrue := sess.Sys.ExplainAtom(norm)
+		return ExplainResponse{Atom: norm, True: isTrue, Proof: proof}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := v.(ExplainResponse)
+	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInput decodes the request body of a query-shaped endpoint and
+// normalizes the query/atom text in the named field, handling errors.
+func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string) (*Session, string, bool) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return nil, "", false
+	}
+	var req QueryRequest
+	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", false
+	}
+	src := req.Query
+	if field == "atom" {
+		src = req.Atom
+	}
+	if src == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
+		return nil, "", false
+	}
+	norm, err := wfs.NormalizeQuery(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", false
+	}
+	if field == "atom" {
+		// Atoms echo back in atom form, not query form ("win(a)", not
+		// "? win(a)."). Still canonical, so still a stable cache key.
+		norm = strings.TrimSuffix(strings.TrimPrefix(norm, "? "), ".")
+	}
+	return sess, norm, true
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionStatsDTO(sess.Name, sess.Sys.Stats()))
+}

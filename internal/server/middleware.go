@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+)
+
+// limiter bounds in-flight requests with a counting semaphore. Requests
+// beyond the bound wait until a slot frees or the client gives up (context
+// cancellation), so a burst degrades to queueing rather than unbounded
+// engine concurrency.
+type limiter struct {
+	slots    chan struct{} // nil = unlimited
+	inFlight atomic.Int64
+}
+
+func newLimiter(max int) *limiter {
+	l := &limiter{}
+	if max > 0 {
+		l.slots = make(chan struct{}, max)
+	}
+	return l
+}
+
+func (l *limiter) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l.slots != nil {
+			select {
+			case l.slots <- struct{}{}:
+				defer func() { <-l.slots }()
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", r.Context().Err()))
+				return
+			}
+		}
+		l.inFlight.Add(1)
+		defer l.inFlight.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 instead of killing the
+// connection, and logs it.
+func recoverPanics(logger *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if logger != nil {
+					logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				}
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // nothing to do about a broken connection
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// readJSON decodes the request body into v, bounded to maxBytes, and
+// rejects trailing garbage and unknown fields (catching typo'd keys that
+// would otherwise silently select defaults).
+func readJSON(w http.ResponseWriter, r *http.Request, v any, maxBytes int64) error {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid JSON body: trailing data")
+	}
+	_, _ = io.Copy(io.Discard, body)
+	return nil
+}
+
+// statusFor maps registry and validation errors to HTTP status codes.
+func statusFor(err error) int {
+	var exists *ErrSessionExists
+	var missing *ErrNoSession
+	var full *ErrTooManySessions
+	switch {
+	case errors.As(err, &missing):
+		return http.StatusNotFound
+	case errors.As(err, &exists):
+		return http.StatusConflict
+	case errors.As(err, &full):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}

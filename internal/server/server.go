@@ -1,0 +1,116 @@
+package server
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Config sizes the serving layer. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// MaxSessions bounds the registry; 0 means DefaultMaxSessions,
+	// negative means unbounded.
+	MaxSessions int
+	// CacheSize bounds the answer cache in entries; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds in-flight requests; 0 means
+	// DefaultMaxConcurrent, negative means unlimited.
+	MaxConcurrent int
+	// MaxBodyBytes bounds request bodies; non-positive means
+	// DefaultMaxBodyBytes (unlike the sibling fields, there is no
+	// unlimited mode — an unbounded body is a trivial DoS).
+	MaxBodyBytes int64
+	// Logger receives panic and lifecycle logs; nil discards them.
+	Logger *log.Logger
+}
+
+// Serving-layer defaults.
+const (
+	DefaultMaxSessions   = 1024
+	DefaultCacheSize     = 4096
+	DefaultMaxConcurrent = 64
+	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB: program text can be sizeable
+)
+
+func (c Config) withDefaults() Config {
+	switch {
+	case c.MaxSessions == 0:
+		c.MaxSessions = DefaultMaxSessions
+	case c.MaxSessions < 0:
+		c.MaxSessions = 0 // registry: 0 = unbounded
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = DefaultCacheSize
+	case c.CacheSize < 0:
+		c.CacheSize = 0 // cache: 0 = disabled
+	}
+	switch {
+	case c.MaxConcurrent == 0:
+		c.MaxConcurrent = DefaultMaxConcurrent
+	case c.MaxConcurrent < 0:
+		c.MaxConcurrent = 0 // limiter: 0 = unlimited
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the wfsd serving layer: session registry + answer cache +
+// request limiter, exposed as an http.Handler.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *Cache
+	limiter *limiter
+	started time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.MaxSessions),
+		cache:   NewCache(cfg.CacheSize),
+		limiter: newLimiter(cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+}
+
+// Registry exposes the session registry (for preloading at startup).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the fully-wired HTTP handler: routes inside panic
+// recovery inside the concurrency limiter — except /v1/healthz and
+// /v1/stats, which bypass the limiter so liveness probes and
+// observability keep answering while every slot is occupied by slow
+// evaluations (a saturated-but-healthy server must not be restarted by
+// its orchestrator).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{name}/facts", s.handleAddFacts)
+	mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/sessions/{name}/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/sessions/{name}/truth", s.handleTruth)
+	mux.HandleFunc("POST /v1/sessions/{name}/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleSessionStats)
+	limited := s.limiter.wrap(mux)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	root.HandleFunc("GET /v1/stats", s.handleServerStats)
+	root.Handle("/", limited)
+	return recoverPanics(s.cfg.Logger, root)
+}

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testClient wraps an httptest server with JSON request helpers.
+type testClient struct {
+	t   *testing.T
+	srv *httptest.Server
+}
+
+func newTestClient(t *testing.T, cfg Config) *testClient {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &testClient{t: t, srv: ts}
+}
+
+// do issues a JSON request and decodes the response body into out (unless
+// nil), returning the status code.
+func (c *testClient) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatalf("marshal request: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.srv.URL+path, rd)
+	if err != nil {
+		c.t.Fatalf("new request: %v", err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("read response: %v", err)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *testClient) mustCreate(name, program string) {
+	c.t.Helper()
+	code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: name, Program: program}, nil)
+	if code != http.StatusCreated {
+		c.t.Fatalf("create session %q: status %d", name, code)
+	}
+}
+
+const winMove = `
+	move(a,b). move(b,a). move(b,c).
+	move(X,Y), not win(Y) -> win(X).
+`
+
+const authorship = `
+	scientist(john).
+	scientist(X) -> isAuthorOf(X, Y).
+	conferencePaper(X) -> article(X).
+`
+
+func TestSessionLifecycle(t *testing.T) {
+	c := newTestClient(t, Config{})
+
+	// Empty registry.
+	var list SessionListResponse
+	if code := c.do("GET", "/v1/sessions", nil, &list); code != 200 || len(list.Sessions) != 0 {
+		t.Fatalf("initial list: code %d, sessions %v", code, list.Sessions)
+	}
+
+	// Create, duplicate create, get, delete, get-after-delete.
+	var info SessionInfo
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "w", Program: winMove}, &info); code != 201 {
+		t.Fatalf("create: status %d", code)
+	}
+	if info.Name != "w" || info.Facts != 3 {
+		t.Errorf("create info = %+v, want name w with 3 facts", info)
+	}
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "w", Program: winMove}, nil); code != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", code)
+	}
+	if code := c.do("GET", "/v1/sessions/w", nil, &info); code != 200 || info.Name != "w" {
+		t.Errorf("get: status %d info %+v", code, info)
+	}
+	if code := c.do("DELETE", "/v1/sessions/w", nil, nil); code != http.StatusNoContent {
+		t.Errorf("delete: status %d, want 204", code)
+	}
+	if code := c.do("GET", "/v1/sessions/w", nil, nil); code != http.StatusNotFound {
+		t.Errorf("get after delete: status %d, want 404", code)
+	}
+	if code := c.do("DELETE", "/v1/sessions/w", nil, nil); code != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", code)
+	}
+}
+
+func TestSessionLimitAndValidation(t *testing.T) {
+	c := newTestClient(t, Config{MaxSessions: 1})
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "", Program: "p(a)."}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty name: status %d, want 400", code)
+	}
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "x", Program: "p(a"}, nil); code != http.StatusBadRequest {
+		t.Errorf("syntax error program: status %d, want 400", code)
+	}
+	// A failed compile releases its name reservation, so the slot is free.
+	c.mustCreate("only", "p(a).")
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "two", Program: "q(b)."}, nil); code != http.StatusTooManyRequests {
+		t.Errorf("over limit: status %d, want 429", code)
+	}
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("w", winMove)
+
+	// NBCQ answering: win(c) is false (c has no moves), win(b) true,
+	// win(a)/win(b) cycle a-b is resolved by b->c.
+	var qr QueryResponse
+	if code := c.do("POST", "/v1/sessions/w/query", QueryRequest{Query: "win(b)"}, &qr); code != 200 {
+		t.Fatalf("query: status %d", code)
+	}
+	if qr.Answer != "true" {
+		t.Errorf("win(b) = %s, want true", qr.Answer)
+	}
+	if qr.Stats == nil || len(qr.Stats.Depths) == 0 {
+		t.Errorf("query stats missing: %+v", qr.Stats)
+	}
+	if qr.Query != "? win(b)." {
+		t.Errorf("normalized query = %q", qr.Query)
+	}
+
+	// Non-Boolean select.
+	var sr SelectResponse
+	if code := c.do("POST", "/v1/sessions/w/select", QueryRequest{Query: "? win(X)."}, &sr); code != 200 {
+		t.Fatalf("select: status %d", code)
+	}
+	if len(sr.Vars) != 1 || sr.Vars[0] != "X" {
+		t.Errorf("select vars = %v", sr.Vars)
+	}
+	want := [][]string{{"b"}}
+	if fmt.Sprint(sr.Tuples) != fmt.Sprint(want) {
+		t.Errorf("select tuples = %v, want %v", sr.Tuples, want)
+	}
+
+	// Ground-atom truth: the a<->b cycle without escape would be
+	// undefined, but b->c (win over the dead-end c... c has no move, so
+	// win(b) true via c, win(a) false? a->b with win(b) true blocks;
+	// a has only move a->b). Check all three.
+	for atom, want := range map[string]string{
+		"win(b)": "true",
+		"win(c)": "false",
+	} {
+		var tr TruthResponse
+		if code := c.do("POST", "/v1/sessions/w/truth", QueryRequest{Atom: atom}, &tr); code != 200 {
+			t.Fatalf("truth %s: status %d", atom, code)
+		}
+		if tr.Truth != want {
+			t.Errorf("truth of %s = %s, want %s", atom, tr.Truth, want)
+		}
+	}
+
+	// Explain a true atom.
+	var er ExplainResponse
+	if code := c.do("POST", "/v1/sessions/w/explain", QueryRequest{Atom: "move(a,b)"}, &er); code != 200 {
+		t.Fatalf("explain: status %d", code)
+	}
+	if !er.True || er.Proof == "" {
+		t.Errorf("explain move(a,b): %+v, want a proof", er)
+	}
+
+	// Error paths.
+	if code := c.do("POST", "/v1/sessions/w/query", QueryRequest{}, nil); code != 400 {
+		t.Errorf("missing query: status %d, want 400", code)
+	}
+	if code := c.do("POST", "/v1/sessions/w/query", QueryRequest{Query: "win("}, nil); code != 400 {
+		t.Errorf("malformed query: status %d, want 400", code)
+	}
+	if code := c.do("POST", "/v1/sessions/w/truth", QueryRequest{Atom: "win(X)"}, nil); code != 400 {
+		t.Errorf("non-ground truth atom: status %d, want 400", code)
+	}
+	if code := c.do("POST", "/v1/sessions/nope/query", QueryRequest{Query: "win(b)"}, nil); code != 404 {
+		t.Errorf("unknown session: status %d, want 404", code)
+	}
+}
+
+func TestFactsInvalidateCache(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", authorship)
+
+	// First ask: miss; second ask: hit.
+	var q1, q2 QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "article(p1)"}, &q1)
+	if q1.Cached {
+		t.Errorf("first query unexpectedly cached")
+	}
+	if q1.Answer != "false" {
+		t.Errorf("article(p1) = %s, want false (p1 unknown)", q1.Answer)
+	}
+	// Whitespace/punctuation variants normalize to the same key.
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "  article( p1 ) ."}, &q2)
+	if !q2.Cached {
+		t.Errorf("repeat query not served from cache")
+	}
+	if q2.Answer != q1.Answer {
+		t.Errorf("cached answer %s != original %s", q2.Answer, q1.Answer)
+	}
+
+	// Adding a fact bumps the epoch and invalidates.
+	var fr AddFactsResponse
+	if code := c.do("POST", "/v1/sessions/s/facts", AddFactsRequest{Facts: []Fact{{Pred: "conferencePaper", Args: []string{"p1"}}}}, &fr); code != 200 {
+		t.Fatalf("add facts: status %d", code)
+	}
+	if fr.Added != 1 || fr.Epoch == 0 {
+		t.Errorf("add facts response: %+v", fr)
+	}
+	var q3 QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "article(p1)"}, &q3)
+	if q3.Cached {
+		t.Errorf("post-write query served stale cache entry")
+	}
+	if q3.Answer != "true" {
+		t.Errorf("article(p1) after insert = %s, want true", q3.Answer)
+	}
+
+	// The stats endpoint shows the cache traffic.
+	var ss ServerStatsResponse
+	c.do("GET", "/v1/stats", nil, &ss)
+	if ss.Cache.Hits == 0 {
+		t.Errorf("server stats show no cache hits: %+v", ss.Cache)
+	}
+	if ss.Sessions != 1 {
+		t.Errorf("server stats sessions = %d, want 1", ss.Sessions)
+	}
+
+	// Arity mismatch on a later fact of a batch is a 400.
+	if code := c.do("POST", "/v1/sessions/s/facts", AddFactsRequest{Facts: []Fact{
+		{Pred: "scientist", Args: []string{"ada"}},
+		{Pred: "scientist", Args: []string{"too", "many"}},
+	}}, nil); code != 400 {
+		t.Errorf("arity mismatch batch: status %d, want 400", code)
+	}
+}
+
+func TestRecreatedSessionDoesNotInheritCache(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", "p(a).")
+	var q1 QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "p(a)"}, &q1)
+	if q1.Answer != "true" {
+		t.Fatalf("p(a) = %s, want true", q1.Answer)
+	}
+	if code := c.do("DELETE", "/v1/sessions/s", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	// Recreate under the same name with a program where p(a) is false.
+	// The new session restarts at epoch 0, which must not alias the old
+	// incarnation's cache entries.
+	c.mustCreate("s", "q(b).")
+	var q2 QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "p(a)"}, &q2)
+	if q2.Cached {
+		t.Errorf("recreated session served the old incarnation's cache entry")
+	}
+	if q2.Answer != "false" {
+		t.Errorf("p(a) in recreated session = %s, want false", q2.Answer)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", authorship)
+	// Force evaluation through a query first.
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "isAuthorOf(john, X)"}, nil)
+
+	var st SessionStatsResponse
+	if code := c.do("GET", "/v1/sessions/s/stats", nil, &st); code != 200 {
+		t.Fatalf("session stats: status %d", code)
+	}
+	if st.Name != "s" || st.Facts != 1 {
+		t.Errorf("stats identity: %+v", st)
+	}
+	if !st.Stratified {
+		t.Errorf("authorship program should be stratified")
+	}
+	if st.Algorithm != "alternating-fixpoint" {
+		t.Errorf("algorithm = %q", st.Algorithm)
+	}
+	if st.DeltaBound == "" || st.DeltaBits == 0 {
+		t.Errorf("δ bound missing: %+v", st)
+	}
+	if st.Model.ChaseAtoms == 0 || st.Model.TrueAtoms == 0 {
+		t.Errorf("model stats empty: %+v", st.Model)
+	}
+	if st.Model.MaxDepthReached <= 0 {
+		t.Errorf("depth reached = %d, want > 0 (existential rule fires)", st.Model.MaxDepthReached)
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	c := newTestClient(t, Config{})
+	req := CreateSessionRequest{
+		Name:    "r",
+		Program: winMove,
+		Options: &SessionOptions{Algorithm: "remainder", Depth: 4},
+	}
+	if code := c.do("POST", "/v1/sessions", req, nil); code != 201 {
+		t.Fatalf("create with options: status %d", code)
+	}
+	var st SessionStatsResponse
+	c.do("GET", "/v1/sessions/r/stats", nil, &st)
+	if st.Algorithm != "remainder" {
+		t.Errorf("algorithm = %q, want remainder", st.Algorithm)
+	}
+	if st.Model.Depth != 4 {
+		t.Errorf("depth = %d, want 4", st.Model.Depth)
+	}
+
+	req.Name = "bad"
+	req.Options = &SessionOptions{Algorithm: "quantum"}
+	if code := c.do("POST", "/v1/sessions", req, nil); code != 400 {
+		t.Errorf("unknown algorithm: status %d, want 400", code)
+	}
+}
+
+// TestConcurrentClients is the acceptance scenario: ≥8 goroutines hammer
+// one session with a mix of NBCQ answering, Select, truth lookups and
+// occasional fact writes, under -race via CI.
+func TestConcurrentClients(t *testing.T) {
+	c := newTestClient(t, Config{MaxConcurrent: 16})
+	c.mustCreate("w", winMove)
+
+	const goroutines = 12
+	const iters = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch {
+				case g == 0 && i%5 == 4:
+					// One writer thread occasionally asserts a new edge.
+					var fr AddFactsResponse
+					code := c.do("POST", "/v1/sessions/w/facts", AddFactsRequest{
+						Facts: []Fact{{Pred: "move", Args: []string{fmt.Sprintf("n%d", i), "c"}}},
+					}, &fr)
+					if code != 200 {
+						errs <- fmt.Errorf("goroutine %d: add fact status %d", g, code)
+					}
+				case g%3 == 1:
+					var sr SelectResponse
+					code := c.do("POST", "/v1/sessions/w/select", QueryRequest{Query: "win(X)"}, &sr)
+					if code != 200 {
+						errs <- fmt.Errorf("goroutine %d: select status %d", g, code)
+					} else if len(sr.Vars) != 1 {
+						errs <- fmt.Errorf("goroutine %d: select vars %v", g, sr.Vars)
+					}
+				case g%3 == 2:
+					var tr TruthResponse
+					code := c.do("POST", "/v1/sessions/w/truth", QueryRequest{Atom: "win(c)"}, &tr)
+					if code != 200 {
+						errs <- fmt.Errorf("goroutine %d: truth status %d", g, code)
+					}
+				default:
+					var qr QueryResponse
+					code := c.do("POST", "/v1/sessions/w/query", QueryRequest{Query: "win(b)"}, &qr)
+					if code != 200 {
+						errs <- fmt.Errorf("goroutine %d: query status %d", g, code)
+					} else if qr.Answer != "true" {
+						// win(b) stays true under every added n*->c edge.
+						errs <- fmt.Errorf("goroutine %d: win(b) = %s", g, qr.Answer)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The repeated identical queries must have produced cache hits.
+	var ss ServerStatsResponse
+	c.do("GET", "/v1/stats", nil, &ss)
+	if ss.Cache.Hits == 0 {
+		t.Errorf("no cache hits after %d repeated queries: %+v", goroutines*iters, ss.Cache)
+	}
+}
+
+func TestRequestLimits(t *testing.T) {
+	c := newTestClient(t, Config{MaxBodyBytes: 256})
+	big := strings.Repeat("p(a). ", 200)
+	code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "big", Program: big}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", code)
+	}
+	// Unknown JSON fields are rejected, catching typo'd option keys.
+	req, _ := http.NewRequest("POST", c.srv.URL+"/v1/sessions",
+		strings.NewReader(`{"name":"x","programme":"p(a)."}`))
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	c := newTestClient(t, Config{})
+	var out map[string]string
+	if code := c.do("GET", "/v1/healthz", nil, &out); code != 200 || out["status"] != "ok" {
+		t.Errorf("healthz: code %d body %v", code, out)
+	}
+}

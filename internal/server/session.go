@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wfs "repro"
+)
+
+// Session is one named, loaded program served by wfsd. The embedded
+// wfs.System owns all evaluation-level locking (see the wfs package
+// comment); the Session layer adds only identity and bookkeeping, so a
+// Session may be used from many requests at once.
+type Session struct {
+	Name      string
+	CreatedAt time.Time
+	Sys       *wfs.System
+
+	// id is unique across all sessions ever created in this process,
+	// including recreations under a reused name. Cache keys embed it
+	// rather than the name, so a delete-and-recreate can never collide
+	// with entries of the earlier incarnation (whose epoch also restarts
+	// at zero).
+	id uint64
+}
+
+// ID returns the session's process-unique identity.
+func (s *Session) ID() uint64 { return s.id }
+
+var sessionIDs atomic.Uint64
+
+// Registry is the concurrency-safe store of live sessions, bounded to
+// maxSessions (0 = unbounded).
+type Registry struct {
+	mu          sync.RWMutex
+	sessions    map[string]*Session
+	maxSessions int
+	now         func() time.Time // injectable for tests
+}
+
+// NewRegistry returns an empty registry bounded to maxSessions.
+func NewRegistry(maxSessions int) *Registry {
+	return &Registry{
+		sessions:    make(map[string]*Session),
+		maxSessions: maxSessions,
+		now:         time.Now,
+	}
+}
+
+// validateName enforces the session-name grammar: non-empty, at most 128
+// bytes, and free of control characters and '/' (names appear in URL
+// paths and cache-key prefixes).
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: session name must be non-empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("server: session name longer than 128 bytes")
+	}
+	if name == "." || name == ".." {
+		// ServeMux path cleaning would 301-redirect these names' URLs,
+		// making the session unreachable and undeletable over HTTP.
+		return fmt.Errorf("server: session name %q is reserved", name)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f || r == '/' {
+			return fmt.Errorf("server: session name contains forbidden character %q", r)
+		}
+	}
+	return nil
+}
+
+// ErrSessionExists reports a Create against a name already in use.
+type ErrSessionExists struct{ Name string }
+
+func (e *ErrSessionExists) Error() string {
+	return fmt.Sprintf("server: session %q already exists", e.Name)
+}
+
+// ErrNoSession reports a lookup of an unknown session.
+type ErrNoSession struct{ Name string }
+
+func (e *ErrNoSession) Error() string {
+	return fmt.Sprintf("server: no session %q", e.Name)
+}
+
+// ErrTooManySessions reports that the registry is at capacity.
+type ErrTooManySessions struct{ Max int }
+
+func (e *ErrTooManySessions) Error() string {
+	return fmt.Sprintf("server: session limit reached (%d)", e.Max)
+}
+
+// Create compiles src under opts and registers it under name. Compilation
+// runs outside the registry lock so a slow load never blocks lookups; the
+// name is reserved first so two racing creates cannot both win.
+func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, ok := r.sessions[name]; ok {
+		r.mu.Unlock()
+		return nil, &ErrSessionExists{Name: name}
+	}
+	if r.maxSessions > 0 && len(r.sessions) >= r.maxSessions {
+		r.mu.Unlock()
+		return nil, &ErrTooManySessions{Max: r.maxSessions}
+	}
+	r.sessions[name] = nil // reserve
+	r.mu.Unlock()
+
+	// Release the reservation unless the session was stored — deferred
+	// so even a compiler panic cannot leak an undeletable nil entry.
+	var s *Session
+	defer func() {
+		r.mu.Lock()
+		if s == nil {
+			delete(r.sessions, name)
+		} else {
+			r.sessions[name] = s
+		}
+		r.mu.Unlock()
+	}()
+
+	sys, err := wfs.LoadWithOptions(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	s = &Session{Name: name, CreatedAt: r.now(), Sys: sys, id: sessionIDs.Add(1)}
+	return s, nil
+}
+
+// Get returns the named session.
+func (r *Registry) Get(name string) (*Session, error) {
+	r.mu.RLock()
+	s, ok := r.sessions[name]
+	r.mu.RUnlock()
+	if !ok || s == nil { // nil: creation still in flight
+		return nil, &ErrNoSession{Name: name}
+	}
+	return s, nil
+}
+
+// Delete removes the named session, returning it (nil if absent) so
+// callers can purge per-session state keyed by its ID.
+func (r *Registry) Delete(name string) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[name]
+	if !ok || s == nil {
+		return nil
+	}
+	delete(r.sessions, name)
+	return s
+}
+
+// Names lists registered sessions in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sessions))
+	for name, s := range r.sessions {
+		if s != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered sessions (including reservations).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}

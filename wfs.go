@@ -20,16 +20,34 @@
 //
 // See the examples/ directory for complete programs, internal/core for the
 // engine, and DESIGN.md for the system inventory.
+//
+// # Concurrency
+//
+// A System is safe for concurrent use through its string-based methods
+// (AddFact, LoadCSV, Answer, AnswerWithStats, Select, TruthOf, ExplainAtom,
+// WCheck, TrueFacts, UndefinedFacts, CheckConstraints, AnswerAll, Stats,
+// Epoch, NumFacts, …). Internally a single lock serializes evaluation:
+// term/atom interning is not thread-safe, and even query answering interns
+// new terms while the chase deepens adaptively, so concurrent calls share
+// one built engine rather than racing to rebuild it, and writes invalidate
+// it. Cross-session parallelism and answer caching above this layer (see
+// internal/server) provide read scaling.
+//
+// The Engine and Model accessors — and direct access to the exported
+// Store/Prog/DB fields — hand out live internal state and are intended for
+// single-goroutine use only (tools, tests, benchmarks).
 package wfs
 
 import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/atom"
 	"repro/internal/core"
 	"repro/internal/ground"
+	"repro/internal/parser"
 	"repro/internal/program"
 	"repro/internal/term"
 )
@@ -49,14 +67,22 @@ const (
 type Options = core.Options
 
 // System bundles a compiled guarded normal Datalog± program, its database,
-// and an evaluation engine.
+// and an evaluation engine. See the package comment for the concurrency
+// contract.
 type System struct {
 	Store   *atom.Store
 	Prog    *program.Program
 	DB      program.Database
 	Queries []*program.Query
 
-	opts   Options
+	opts Options
+
+	// mu serializes every engine-touching operation: evaluation interns
+	// terms and atoms into Store, which is not thread-safe, so reads
+	// cannot overlap writes or each other. Cheap metadata accessors take
+	// the read side.
+	mu     sync.RWMutex
+	epoch  uint64
 	engine *core.Engine
 }
 
@@ -74,9 +100,37 @@ func LoadWithOptions(src string, opts Options) (*System, error) {
 	return &System{Store: st, Prog: prog, DB: db, Queries: queries, opts: opts}, nil
 }
 
+// Epoch returns the database epoch: a counter bumped by every mutation
+// (AddFact, LoadCSV). Caching layers key cached answers by epoch so that
+// fact writes invalidate them.
+func (s *System) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// NumFacts returns the current number of database facts.
+func (s *System) NumFacts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.DB)
+}
+
+// FactsEpoch returns the fact count and epoch as one consistent pair:
+// reading them via NumFacts and Epoch separately can be torn by a
+// concurrent write.
+func (s *System) FactsEpoch() (facts int, epoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.DB), s.epoch
+}
+
 // AddFact adds the ground fact pred(args...) to the database, creating the
-// predicate if needed, and invalidates cached evaluation state.
+// predicate if needed, bumps the epoch, and invalidates cached evaluation
+// state.
 func (s *System) AddFact(pred string, args ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, err := s.Store.Pred(pred, len(args))
 	if err != nil {
 		return err
@@ -86,40 +140,70 @@ func (s *System) AddFact(pred string, args ...string) error {
 		ts[i] = s.Store.Terms.Const(a)
 	}
 	s.DB = append(s.DB, s.Store.Atom(p, ts))
-	s.engine = nil
+	s.invalidateLocked()
 	return nil
 }
 
-// Engine returns (building if necessary) the evaluation engine.
-func (s *System) Engine() *core.Engine {
+// invalidateLocked drops cached evaluation state after a database
+// mutation. Callers must hold mu.
+func (s *System) invalidateLocked() {
+	s.engine = nil
+	s.epoch++
+}
+
+// engineLocked returns (building if necessary) the evaluation engine.
+// Callers must hold mu.
+func (s *System) engineLocked() *core.Engine {
 	if s.engine == nil {
 		s.engine = core.NewEngine(s.Prog, s.DB, s.opts)
 	}
 	return s.engine
 }
 
+// modelLocked returns (building if necessary) the model at the configured
+// depth. Callers must hold mu.
+func (s *System) modelLocked() *core.Model { return s.engineLocked().Evaluate() }
+
+// Engine returns (building if necessary) the evaluation engine. The
+// returned engine is live internal state: it must not be used concurrently
+// with other System methods.
+func (s *System) Engine() *core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engineLocked()
+}
+
 // Model evaluates (and caches) the well-founded model at the configured
-// depth.
-func (s *System) Model() *core.Model { return s.Engine().Evaluate() }
+// depth. Like Engine, the returned model must not be used concurrently
+// with other System methods.
+func (s *System) Model() *core.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modelLocked()
+}
 
 // Answer parses an NBCQ (with or without leading '?') and answers it via
 // adaptive deepening, returning the three-valued answer.
 func (s *System) Answer(query string) (Truth, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	q, err := program.ParseQuery(query, s.Store)
 	if err != nil {
 		return False, err
 	}
-	ans, _ := s.Engine().Answer(q)
+	ans, _ := s.engineLocked().Answer(q)
 	return ans, nil
 }
 
 // AnswerWithStats is Answer returning the adaptive-deepening trace.
 func (s *System) AnswerWithStats(query string) (Truth, *core.AnswerStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	q, err := program.ParseQuery(query, s.Store)
 	if err != nil {
 		return False, nil, err
 	}
-	ans, stats := s.Engine().Answer(q)
+	ans, stats := s.engineLocked().Answer(q)
 	return ans, stats, nil
 }
 
@@ -134,11 +218,13 @@ type QueryResult struct {
 // over ∆, so bindings to labelled nulls are excluded). The first return
 // lists the variable names.
 func (s *System) Select(query string) ([]string, [][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	q, err := program.ParseQuery(query, s.Store)
 	if err != nil {
 		return nil, nil, err
 	}
-	tuples := s.Model().Select(q)
+	tuples := s.modelLocked().Select(q)
 	out := make([][]string, len(tuples))
 	for i, tup := range tuples {
 		row := make([]string, len(tup))
@@ -152,16 +238,19 @@ func (s *System) Select(query string) ([]string, [][]string, error) {
 
 // AnswerAll answers every query embedded in the loaded source.
 func (s *System) AnswerAll() []QueryResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]QueryResult, 0, len(s.Queries))
 	for _, q := range s.Queries {
-		ans, _ := s.Engine().Answer(q)
+		ans, _ := s.engineLocked().Answer(q)
 		out = append(out, QueryResult{Query: q.Label, Answer: ans})
 	}
 	return out
 }
 
-// parseGroundAtom parses "pred(c1,…,cn)" into an interned ground atom.
-func (s *System) parseGroundAtom(src string) (atom.AtomID, error) {
+// parseGroundAtomLocked parses "pred(c1,…,cn)" into an interned ground
+// atom. Callers must hold mu.
+func (s *System) parseGroundAtomLocked(src string) (atom.AtomID, error) {
 	q, err := program.ParseQuery(src, s.Store)
 	if err != nil {
 		return atom.NoAtom, err
@@ -176,21 +265,25 @@ func (s *System) parseGroundAtom(src string) (atom.AtomID, error) {
 // TruthOf returns the truth of a ground atom written in surface syntax,
 // e.g. TruthOf("win(a)").
 func (s *System) TruthOf(atomSrc string) (Truth, error) {
-	a, err := s.parseGroundAtom(atomSrc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.parseGroundAtomLocked(atomSrc)
 	if err != nil {
 		return False, err
 	}
-	return s.Model().Truth(a), nil
+	return s.modelLocked().Truth(a), nil
 }
 
 // ExplainAtom renders a forward proof (Definition 5) of a true ground
 // atom, or returns false when the atom is not true in the model.
 func (s *System) ExplainAtom(atomSrc string) (string, bool) {
-	a, err := s.parseGroundAtom(atomSrc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.parseGroundAtomLocked(atomSrc)
 	if err != nil {
 		return "", false
 	}
-	proof, ok := s.Model().Explain(a)
+	proof, ok := s.modelLocked().Explain(a)
 	if !ok {
 		return "", false
 	}
@@ -199,11 +292,13 @@ func (s *System) ExplainAtom(atomSrc string) (string, bool) {
 
 // WCheck runs the goal-directed membership check on a ground atom.
 func (s *System) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
-	a, err := s.parseGroundAtom(atomSrc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, err := s.parseGroundAtomLocked(atomSrc)
 	if err != nil {
 		return False, nil, err
 	}
-	t, stats := s.Model().WCheck(a)
+	t, stats := s.modelLocked().WCheck(a)
 	return t, stats, nil
 }
 
@@ -214,7 +309,9 @@ func (s *System) TrueFacts() []string { return s.renderAtoms(ground.True) }
 func (s *System) UndefinedFacts() []string { return s.renderAtoms(ground.Undefined) }
 
 func (s *System) renderAtoms(tv Truth) []string {
-	m := s.Model()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.modelLocked()
 	var out []string
 	for i, g := range m.GP.Atoms {
 		if m.GM.Truth[i] == tv {
@@ -227,14 +324,81 @@ func (s *System) renderAtoms(tv Truth) []string {
 
 // CheckConstraints evaluates the program's negative constraints and EGDs
 // against the model.
-func (s *System) CheckConstraints() []core.Violation { return s.Model().CheckConstraints() }
+func (s *System) CheckConstraints() []core.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modelLocked().CheckConstraints()
+}
 
 // DeltaBound returns the Proposition 12 constant δ for the loaded schema.
-func (s *System) DeltaBound() *big.Int { return core.DeltaForSchema(s.Store) }
+func (s *System) DeltaBound() *big.Int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return core.DeltaForSchema(s.Store)
+}
 
 // Stratified reports whether the program is stratified, in which case the
 // stratified baseline semantics applies and coincides with the WFS.
 func (s *System) Stratified() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.Prog.Stratify()
 	return ok
+}
+
+// Stats summarizes the evaluated system for reporting layers: database
+// size, epoch, schema-level bounds, and the model statistics of
+// core.Model.Stats. Building the model if necessary, it holds the write
+// lock for the duration.
+type Stats struct {
+	Facts int    // database facts
+	Epoch uint64 // mutation epoch
+
+	Model core.ModelStats // chase + ground model statistics
+
+	Algorithm  string // WFS fixpoint algorithm in use
+	Stratified bool   // program admits a stratification
+	DeltaBound string // Proposition 12 δ (decimal, or "≈2^k" when huge)
+	DeltaBits  int    // bit length of δ
+}
+
+// Stats evaluates (if necessary) and summarizes the current model.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.engineLocked()
+	m := e.Evaluate()
+	_, strat := s.Prog.Stratify()
+	delta := core.DeltaForSchema(s.Store)
+	return Stats{
+		Facts:      len(s.DB),
+		Epoch:      s.epoch,
+		Model:      m.Stats(),
+		Algorithm:  e.Opts.Algorithm.String(),
+		Stratified: strat,
+		DeltaBound: formatBig(delta),
+		DeltaBits:  delta.BitLen(),
+	}
+}
+
+// formatBig renders a big integer exactly when small and as a power-of-two
+// magnitude when printing it in full would be unreadable (δ routinely has
+// thousands of digits).
+func formatBig(v *big.Int) string {
+	if v.BitLen() <= 128 {
+		return v.String()
+	}
+	return fmt.Sprintf("≈2^%d", v.BitLen())
+}
+
+// NormalizeQuery parses an NBCQ and re-renders it in canonical surface
+// form, without touching any store. Two queries that differ only in
+// whitespace, the optional leading '?', or the trailing '.' normalize to
+// the same string, making it a suitable answer-cache key.
+func NormalizeQuery(query string) (string, error) {
+	pq, err := parser.ParseQueryString(query)
+	if err != nil {
+		return "", err
+	}
+	return parser.FormatQuery(pq), nil
 }
