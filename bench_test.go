@@ -8,6 +8,7 @@ package wfs
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/atom"
@@ -197,6 +198,148 @@ func BenchmarkE9DLLite(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelAnswer — the snapshot redesign's headline number: N
+// goroutines answering one prepared query against a single shared
+// Snapshot (lock-free reads over precomputed models) versus the same
+// workload through the pre-snapshot locked path, where every Answer takes
+// an exclusive lock, re-parses, and re-runs adaptive deepening against the
+// shared store. Run with -cpu=8 to reproduce the PR numbers.
+func BenchmarkParallelAnswer(b *testing.B) {
+	src := bench.WinMoveRandom(1000, 2000, 9)
+	const query = "? move(X,Y), not win(Y)."
+
+	b.Run("snapshot", func(b *testing.B) {
+		sys, err := Load(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Answer(q); err != nil { // warm models + compile cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if ans, err := snap.Answer(q); err != nil || ans != True {
+					b.Errorf("answer = %v (%v)", ans, err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("locked", func(b *testing.B) {
+		// The PR-1 design, reconstructed: one engine over one shared
+		// store behind one exclusive lock; query answering re-parses (it
+		// interns into the shared store) and re-evaluates the deepening
+		// ladder because nothing can be precomputed safely.
+		st := atom.NewStore(term.NewStore())
+		prog, db, _, err := program.CompileText(src, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.NewEngine(prog, db, core.Options{})
+		var mu sync.Mutex
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				q, err := program.ParseQuery(query, st)
+				if err != nil {
+					mu.Unlock()
+					b.Error(err)
+					return
+				}
+				ans, _ := eng.Answer(q)
+				mu.Unlock()
+				if ans != ground.True {
+					b.Errorf("answer = %v", ans)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkRenderFacts — TrueFacts/UndefinedFacts used to render and sort
+// under the system's exclusive lock; they now render from the snapshot
+// with a preallocated output slice and no lock held, so N goroutines
+// render in parallel.
+func BenchmarkRenderFacts(b *testing.B) {
+	sys, err := Load(bench.WinMoveRandom(2000, 4000, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap.TrueFacts() // build the model once
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(snap.TrueFacts()) == 0 {
+				b.Fatal("no facts")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if len(snap.TrueFacts()) == 0 {
+					b.Error("no facts")
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkWriteDuringRender measures AddFact latency while renderers
+// continuously stream TrueFacts from current snapshots: the proof that
+// rendering no longer holds the write lock. Under the old design each
+// render blocked writers for its full duration; now a write waits only on
+// snapshot construction.
+func BenchmarkWriteDuringRender(b *testing.B) {
+	sys, err := Load(bench.WinMoveRandom(500, 1000, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap, err := sys.Snapshot(); err == nil {
+					snap.TrueFacts()
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.AddFact("move", fmt.Sprintf("w%d", i), "n0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }
 
 // --- micro-benchmarks for the substrates ---

@@ -83,7 +83,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%s is %s in WFS(D,Σ)\n", *explain, tv)
-		if out, ok := sys.ExplainAtom(*explain); ok {
+		if out, ok, err := sys.ExplainAtom(*explain); err != nil {
+			fatal(err)
+		} else if ok {
 			fmt.Println("forward proof (Definition 5):")
 			fmt.Print(out)
 		} else {

@@ -112,7 +112,9 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 				break
 			}
 			fmt.Fprintf(out, "%s is %s\n", atomSrc, tv)
-			if proof, ok := sys.ExplainAtom(atomSrc); ok {
+			if proof, ok, err := sys.ExplainAtom(atomSrc); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else if ok {
 				fmt.Fprint(out, proof)
 			}
 		case strings.HasPrefix(line, ":wcheck "):

@@ -65,6 +65,148 @@ func TestSystemConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestSnapshotReadersDuringWrites pins the snapshot contract under -race:
+// readers holding a stale snapshot keep getting the same answers while a
+// writer interleaves AddFact calls, readers grabbing fresh snapshots see
+// monotonically advancing epochs, and nothing races.
+func TestSnapshotReadersDuringWrites(t *testing.T) {
+	sys, err := Load(`
+		move(a,b). move(b,a). move(b,c).
+		move(X,Y), not win(Y) -> win(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Prepare("win(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stale.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, iters = 2, 6, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, (writers+readers)*iters)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// New leaf nodes only: win(b) stays true in every epoch,
+				// so fresh-snapshot answers are checkable below.
+				if err := sys.AddFact("move", fmt.Sprintf("w%d_%d", w, i), "c"); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; i < iters; i++ {
+				// The stale snapshot answers its frozen epoch, always.
+				if tv, err := stale.Answer(q); err != nil {
+					errs <- err
+				} else if tv != want {
+					errs <- fmt.Errorf("stale answer flipped: %v -> %v", want, tv)
+				}
+				// A current snapshot answers consistently with itself.
+				snap, err := sys.Snapshot()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if e := snap.Epoch(); e < lastEpoch {
+					errs <- fmt.Errorf("epoch went backwards: %d -> %d", lastEpoch, e)
+				} else {
+					lastEpoch = e
+				}
+				if tv, err := snap.Answer(q); err != nil {
+					errs <- err
+				} else if tv != True {
+					errs <- fmt.Errorf("win(b) = %v in epoch %d, want true", tv, snap.Epoch())
+				}
+				if r%2 == 0 {
+					if facts := snap.TrueFacts(); len(facts) == 0 {
+						errs <- fmt.Errorf("empty TrueFacts in epoch %d", snap.Epoch())
+					}
+				} else {
+					snap.Stats()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := sys.Epoch(); got != writers*iters {
+		t.Errorf("final epoch = %d, want %d", got, writers*iters)
+	}
+	if tv, _ := stale.Answer(q); tv != want {
+		t.Errorf("stale snapshot drifted after the dust settled")
+	}
+}
+
+// TestRenderDuringWrites exercises the snapshot-based TrueFacts /
+// UndefinedFacts rendering concurrently with writes: rendering holds no
+// system lock, so writes proceed while renders are in flight.
+func TestRenderDuringWrites(t *testing.T) {
+	sys, err := Load(`
+		move(a,b). move(b,a). move(b,c).
+		move(X,Y), not win(Y) -> win(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := sys.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := snap.TrueFacts(); len(got) == 0 {
+					t.Error("no true facts")
+					return
+				}
+				snap.UndefinedFacts()
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		if err := sys.AddFact("move", fmt.Sprintf("r%d", i), "c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap, _ := sys.Snapshot()
+	if got := len(snap.TrueFacts()); got < 25 {
+		t.Errorf("final model has %d true facts, want ≥ 25", got)
+	}
+}
+
 func TestEpochAndInvalidation(t *testing.T) {
 	sys, err := Load(`p(X) -> q(X).`)
 	if err != nil {

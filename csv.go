@@ -40,7 +40,7 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 		}
 		if arity < 0 {
 			arity = len(rec)
-			if p, err = s.Store.Pred(pred, arity); err != nil {
+			if p, err = s.store.Pred(pred, arity); err != nil {
 				return n, err
 			}
 		} else if len(rec) != arity {
@@ -49,9 +49,9 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 		}
 		args := make([]term.ID, arity)
 		for i, f := range rec {
-			args[i] = s.Store.Terms.Const(f)
+			args[i] = s.store.Terms.Const(f)
 		}
-		s.DB = append(s.DB, s.Store.Atom(p, args))
+		s.db = append(s.db, s.store.Atom(p, args))
 		n++
 	}
 	return n, nil

@@ -37,8 +37,25 @@ func main() {
 		fmt.Printf("%-35s %s\n", r.Query, r.Answer)
 	}
 
+	// The snapshot/prepared-query API: grab an immutable evaluated view
+	// once, prepare a query once, then answer from as many goroutines as
+	// you like — no lock on the hot path.
+	snap, err := sys.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := wfs.Prepare("? isAuthorOf(john, X).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := snap.Answer(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprepared %q against snapshot (epoch %d): %s\n", q, snap.Epoch(), ans)
+
 	fmt.Println("\nwell-founded model (true atoms):")
-	for _, a := range sys.TrueFacts() {
+	for _, a := range snap.TrueFacts() {
 		fmt.Println(" ", a)
 	}
 	fmt.Printf("\nProposition 12 δ for this schema: ≈2^%d\n", sys.DeltaBound().BitLen())

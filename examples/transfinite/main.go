@@ -41,8 +41,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Example 6: the guarded chase forest F+(P) up to depth 3.
-	res := chase.Run(sys.Prog, sys.DB, chase.Options{MaxDepth: 3, MaxAtoms: 10000})
+	// Example 6: the guarded chase forest F+(P) up to depth 3. The engine
+	// accessor hands out the live program and database (single-goroutine
+	// tooling use; concurrent readers should go through sys.Snapshot).
+	eng := sys.Engine()
+	res := chase.Run(eng.Prog, eng.DB, chase.Options{MaxDepth: 3, MaxAtoms: 10000})
 	fmt.Println("guarded chase forest F+(P) to depth 3 (paper Example 6):")
 	fmt.Print(res.BuildForest(3, 200).Dump())
 

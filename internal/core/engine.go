@@ -87,6 +87,11 @@ type Options struct {
 // DefaultDepth is the chase depth used by Evaluate when unset.
 const DefaultDepth = 8
 
+// WithDefaults resolves zero-valued fields to their defaults. Callers that
+// derive evaluation schedules from options (the snapshot layer's adaptive
+// ladder) use it to see the same values an Engine would.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = DefaultDepth
@@ -212,6 +217,13 @@ func (m *Model) UndefinedAtoms() []atom.AtomID {
 	return out
 }
 
+// Precompute materializes the lazily-built per-predicate truth indexes.
+// After Precompute, Answer, Select, Satisfies, Bindings, CheckConstraints,
+// and WCheck perform no writes to the model, so a model over a frozen
+// store may serve unlimited concurrent readers. (Explain has its own lazy
+// state; see PrepareExplanations.)
+func (m *Model) Precompute() { m.buildIndexes() }
+
 func (m *Model) buildIndexes() {
 	if m.truePerPred != nil {
 		return
@@ -287,15 +299,28 @@ type AnswerStats struct {
 	Stable     bool // answer met the stability window
 }
 
-// Answer evaluates an NBCQ by adaptive deepening: the chase depth grows
-// until the three-valued answer is unchanged for the configured window, or
-// the chase saturates (exact), or the ceiling is reached.
-func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats) {
+// AdaptiveAnswer is the single implementation of the adaptive-deepening
+// ladder: the chase depth grows from opts.AdaptiveStart in steps of
+// opts.AdaptiveStep until the three-valued answer is unchanged for the
+// configured stability window, or the chase saturates (exact), or the
+// opts.MaxDepth ceiling is reached. modelAt supplies (or recalls) the
+// model at a given depth; compile resolves the query against that model's
+// ID space (evaluation layers that intern per model, like snapshots,
+// must recompile when the query references unseen names). Both
+// Engine.Answer and the snapshot layer delegate here, so the two paths
+// can never diverge.
+func AdaptiveAnswer(opts Options, modelAt func(depth int) *Model,
+	compile func(*Model) (*program.Query, error)) (ground.Truth, *AnswerStats, error) {
+	opts = opts.withDefaults()
 	stats := &AnswerStats{}
 	var last ground.Truth
 	agree := 0
-	for d := e.Opts.AdaptiveStart; d <= e.Opts.MaxDepth; d += e.Opts.AdaptiveStep {
-		m := e.EvaluateAtDepth(d)
+	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
+		m := modelAt(d)
+		q, err := compile(m)
+		if err != nil {
+			return ground.False, nil, err
+		}
 		ans := m.Answer(q)
 		stats.Depths = append(stats.Depths, d)
 		stats.Answers = append(stats.Answers, ans)
@@ -303,20 +328,27 @@ func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats) {
 		if m.Exact {
 			stats.Exact = true
 			stats.Stable = true
-			return ans, stats
+			return ans, stats, nil
 		}
 		if len(stats.Answers) > 1 && ans == last {
 			agree++
-			if agree >= e.Opts.StabilityWindow {
+			if agree >= opts.StabilityWindow {
 				stats.Stable = true
-				return ans, stats
+				return ans, stats, nil
 			}
 		} else {
 			agree = 0
 		}
 		last = ans
 	}
-	return last, stats
+	return last, stats, nil
+}
+
+// Answer evaluates an NBCQ by adaptive deepening (see AdaptiveAnswer).
+func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats) {
+	ans, stats, _ := AdaptiveAnswer(e.Opts, e.EvaluateAtDepth,
+		func(*Model) (*program.Query, error) { return q, nil })
+	return ans, stats
 }
 
 // Holds reports whether the NBCQ is certainly satisfied (three-valued

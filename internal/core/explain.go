@@ -32,6 +32,12 @@ type ForwardProof struct {
 	NegHypotheses []atom.AtomID
 }
 
+// PrepareExplanations materializes the lazily-computed proof ranks, after
+// which Explain performs no writes to the model. Concurrent readers must
+// arrange that this runs once-before-use (the snapshot layer wraps it in a
+// sync.Once).
+func (m *Model) PrepareExplanations() { m.proofRanks() }
+
 // Explain constructs a forward proof of a true atom from the model,
 // choosing for every atom a supporting instance whose positive body was
 // derived strictly earlier (so the proof is well-founded, never circular).
@@ -40,7 +46,7 @@ func (m *Model) Explain(a atom.AtomID) (*ForwardProof, bool) {
 	if m.Truth(a) != ground.True {
 		return nil, false
 	}
-	ranks, support := m.proofRanks()
+	_, support := m.proofRanks()
 	local := m.GP.Local(a)
 
 	nodes := make(map[int32]*ProofNode)
@@ -71,7 +77,6 @@ func (m *Model) Explain(a atom.AtomID) (*ForwardProof, bool) {
 		neg = append(neg, b)
 	}
 	sort.Slice(neg, func(i, j int) bool { return neg[i] < neg[j] })
-	_ = ranks
 	return &ForwardProof{Goal: goal, NegHypotheses: neg}, true
 }
 

@@ -30,7 +30,7 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 		CreatedAt: sess.CreatedAt.UTC().Format(time.RFC3339),
 		Facts:     facts,
 		Epoch:     epoch,
-		Queries:   len(sess.Sys.Queries),
+		Queries:   sess.Sys.NumQueries(),
 	}
 }
 
@@ -126,42 +126,43 @@ func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
 }
 
 // cachedQuery wraps the fetch-normalize-lookup-compute-store cycle shared
-// by the query-shaped endpoints. compute runs on a cache miss; its result
-// is cached only if the session epoch is unchanged afterwards (a
-// concurrent fact write between the epoch read and the computation could
-// otherwise pin an answer computed against newer facts under the old
-// epoch's key).
-func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func() (any, error)) (any, bool, error) {
-	epoch := sess.Sys.Epoch()
-	key := answerKey(sess.ID(), epoch, kind, norm)
-	if v, ok := s.cache.Get(key); ok {
-		return v, true, nil
-	}
-	v, err := compute()
+// by the query-shaped endpoints. compute runs on a cache miss against the
+// session's current snapshot: because a snapshot is immutable and carries
+// its epoch, the computed answer is always consistent with the cache key —
+// no post-compute epoch re-check is needed, and concurrent reads on one
+// session share the snapshot instead of serializing behind the system's
+// evaluation lock.
+func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs.Snapshot) (any, error)) (any, bool, error) {
+	snap, err := sess.Sys.Snapshot()
 	if err != nil {
 		return nil, false, err
 	}
-	// Cache only if the epoch is unchanged AND the session is still the
-	// registered one: a concurrent DELETE purges the cache by session ID,
-	// and a Put landing after that purge would squat unreachably in the
-	// LRU until it ages out. The re-check shrinks that window from the
-	// whole evaluation to the instants before Put; the LRU bound handles
-	// the residue.
-	if sess.Sys.Epoch() == epoch {
-		if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
-			s.cache.Put(key, v)
-		}
+	key := answerKey(sess.ID(), snap.Epoch(), kind, norm)
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+	v, err := compute(snap)
+	if err != nil {
+		return nil, false, err
+	}
+	// Cache only if the session is still the registered one: a concurrent
+	// DELETE purges the cache by session ID, and a Put landing after that
+	// purge would squat unreachably in the LRU until it ages out. The
+	// re-check shrinks that window from the whole evaluation to the
+	// instants before Put; the LRU bound handles the residue.
+	if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
+		s.cache.Put(key, v)
 	}
 	return v, false, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sess, norm, ok := s.queryInput(w, r, "query")
+	sess, q, norm, ok := s.queryInput(w, r, "query")
 	if !ok {
 		return
 	}
-	v, cached, err := s.cachedQuery(sess, "answer", norm, func() (any, error) {
-		ans, stats, err := sess.Sys.AnswerWithStats(norm)
+	v, cached, err := s.cachedQuery(sess, "answer", norm, func(snap *wfs.Snapshot) (any, error) {
+		ans, stats, err := snap.AnswerWithStats(q)
 		if err != nil {
 			return nil, err
 		}
@@ -177,12 +178,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	sess, norm, ok := s.queryInput(w, r, "query")
+	sess, q, norm, ok := s.queryInput(w, r, "query")
 	if !ok {
 		return
 	}
-	v, cached, err := s.cachedQuery(sess, "select", norm, func() (any, error) {
-		vars, tuples, err := sess.Sys.Select(norm)
+	v, cached, err := s.cachedQuery(sess, "select", norm, func(snap *wfs.Snapshot) (any, error) {
+		vars, tuples, err := snap.Select(q)
 		if err != nil {
 			return nil, err
 		}
@@ -204,12 +205,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
-	sess, norm, ok := s.queryInput(w, r, "atom")
+	sess, _, norm, ok := s.queryInput(w, r, "atom")
 	if !ok {
 		return
 	}
-	v, cached, err := s.cachedQuery(sess, "truth", norm, func() (any, error) {
-		t, err := sess.Sys.TruthOf(norm)
+	v, cached, err := s.cachedQuery(sess, "truth", norm, func(snap *wfs.Snapshot) (any, error) {
+		t, err := snap.TruthOf(norm)
 		if err != nil {
 			return nil, err
 		}
@@ -225,17 +226,17 @@ func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	sess, norm, ok := s.queryInput(w, r, "atom")
+	sess, _, norm, ok := s.queryInput(w, r, "atom")
 	if !ok {
 		return
 	}
-	// ExplainAtom folds parse errors into "not true"; pre-validate with
-	// TruthOf so a malformed atom is a 400, not an empty proof.
-	v, cached, err := s.cachedQuery(sess, "explain", norm, func() (any, error) {
-		if _, err := sess.Sys.TruthOf(norm); err != nil {
+	v, cached, err := s.cachedQuery(sess, "explain", norm, func(snap *wfs.Snapshot) (any, error) {
+		// Explain distinguishes malformed input (error → 400) from an
+		// atom that simply is not true (ok=false → empty proof).
+		proof, isTrue, err := snap.Explain(norm)
+		if err != nil {
 			return nil, err
 		}
-		proof, isTrue := sess.Sys.ExplainAtom(norm)
 		return ExplainResponse{Atom: norm, True: isTrue, Proof: proof}, nil
 	})
 	if err != nil {
@@ -248,16 +249,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryInput decodes the request body of a query-shaped endpoint and
-// normalizes the query/atom text in the named field, handling errors.
-func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string) (*Session, string, bool) {
+// prepares the query/atom text in the named field exactly once: the
+// prepared query serves both as the canonical cache key (q.String()) and,
+// for the query-shaped endpoints, as the compiled form answered against
+// the snapshot — no re-parse on a cache miss.
+func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string) (*Session, *wfs.Query, string, bool) {
 	sess := s.session(w, r)
 	if sess == nil {
-		return nil, "", false
+		return nil, nil, "", false
 	}
 	var req QueryRequest
 	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return nil, "", false
+		return nil, nil, "", false
 	}
 	src := req.Query
 	if field == "atom" {
@@ -265,19 +269,20 @@ func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string
 	}
 	if src == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
-		return nil, "", false
+		return nil, nil, "", false
 	}
-	norm, err := wfs.NormalizeQuery(src)
+	q, err := wfs.Prepare(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return nil, "", false
+		return nil, nil, "", false
 	}
+	norm := q.String()
 	if field == "atom" {
 		// Atoms echo back in atom form, not query form ("win(a)", not
 		// "? win(a)."). Still canonical, so still a stable cache key.
 		norm = strings.TrimSuffix(strings.TrimPrefix(norm, "? "), ".")
 	}
-	return sess, norm, true
+	return sess, q, norm, true
 }
 
 func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {

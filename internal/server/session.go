@@ -11,9 +11,12 @@ import (
 )
 
 // Session is one named, loaded program served by wfsd. The embedded
-// wfs.System owns all evaluation-level locking (see the wfs package
-// comment); the Session layer adds only identity and bookkeeping, so a
-// Session may be used from many requests at once.
+// wfs.System atomically publishes an immutable current snapshot (see the
+// wfs package comment): read endpoints call Sys.Snapshot() and answer
+// from it in parallel with no per-session serialization, while writes
+// (facts) bump the epoch and invalidate it. The Session layer adds only
+// identity and bookkeeping, so a Session may be used from many requests
+// at once.
 type Session struct {
 	Name      string
 	CreatedAt time.Time

@@ -1,0 +1,121 @@
+package term
+
+import "testing"
+
+func TestFreezePanicsOnIntern(t *testing.T) {
+	s := NewStore()
+	s.Const("a")
+	s.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interning into a frozen store did not panic")
+		}
+	}()
+	s.Const("b")
+}
+
+func TestCloneSharesIDsAndDiverges(t *testing.T) {
+	s := NewStore()
+	a := s.Const("a")
+	f := s.Functor("f", 1)
+	sk := s.Skolem(f, []ID{a})
+
+	c := s.Clone()
+	if got := c.Const("a"); got != a {
+		t.Fatalf("clone Const(a) = %d, want %d", got, a)
+	}
+	if got := c.Skolem(f, []ID{a}); got != sk {
+		t.Fatalf("clone Skolem = %d, want %d", got, sk)
+	}
+	// Divergence: both allocate the same next ID independently.
+	b1 := s.Const("b")
+	c1 := c.Const("c")
+	if b1 != c1 {
+		t.Fatalf("divergent interning allocated %d vs %d, want same next ID", b1, c1)
+	}
+	if s.String(b1) != "b" || c.String(c1) != "c" {
+		t.Fatalf("clone and original confused: %q vs %q", s.String(b1), c.String(c1))
+	}
+}
+
+func TestOverlayResolvesBaseAndInternsLocally(t *testing.T) {
+	base := NewStore()
+	a := base.Const("a")
+	f := base.Functor("f", 1)
+	sk := base.Skolem(f, []ID{a})
+	base.Freeze()
+
+	o := NewOverlay(base)
+	if got := o.Const("a"); got != a {
+		t.Fatalf("overlay Const(a) = %d, want base ID %d", got, a)
+	}
+	if got := o.Skolem(f, []ID{a}); got != sk {
+		t.Fatalf("overlay Skolem = %d, want base ID %d", got, sk)
+	}
+	if o.NumLocal() != 0 {
+		t.Fatalf("base-resolved lookups interned locally: NumLocal=%d", o.NumLocal())
+	}
+	b := o.Const("b")
+	if int(b) != base.Len() {
+		t.Fatalf("overlay ID = %d, want %d (continuing base space)", b, base.Len())
+	}
+	if o.Kind(b) != Const || o.Name(b) != "b" {
+		t.Fatalf("overlay term wrong: kind=%v name=%q", o.Kind(b), o.Name(b))
+	}
+	// Base reads still work through the overlay.
+	if o.String(sk) != "f(a)" {
+		t.Fatalf("overlay render of base skolem = %q", o.String(sk))
+	}
+	// Nested skolem over mixed base/overlay args.
+	sk2 := o.Skolem(f, []ID{b})
+	if o.Depth(sk2) != 1 || o.String(sk2) != "f(b)" {
+		t.Fatalf("overlay skolem: depth=%d render=%q", o.Depth(sk2), o.String(sk2))
+	}
+	// The base is untouched: still just a and f(a).
+	if base.Len() != 2 {
+		t.Fatalf("base grew to %d terms", base.Len())
+	}
+	if base.NumLocal() != base.Len() {
+		t.Fatalf("root store NumLocal %d != Len %d", base.NumLocal(), base.Len())
+	}
+}
+
+func TestOverlayChains(t *testing.T) {
+	base := NewStore()
+	a := base.Const("a")
+	base.Freeze()
+
+	mid := NewOverlay(base)
+	b := mid.Const("b")
+	mid.Freeze()
+
+	top := NewOverlay(mid)
+	if got := top.Const("a"); got != a {
+		t.Fatalf("chain lookup of a = %d, want %d", got, a)
+	}
+	if got := top.Const("b"); got != b {
+		t.Fatalf("chain lookup of b = %d, want %d", got, b)
+	}
+	c := top.Const("c")
+	if int(c) != 2 {
+		t.Fatalf("top ID = %d, want 2", c)
+	}
+	if top.Compare(a, b) >= 0 || top.Compare(b, c) >= 0 {
+		t.Fatal("chain compare broken")
+	}
+	if id, ok := top.LookupConst("b"); !ok || id != b {
+		t.Fatalf("LookupConst(b) = %d,%v", id, ok)
+	}
+	if _, ok := top.LookupConst("zzz"); ok {
+		t.Fatal("LookupConst found a never-interned constant")
+	}
+}
+
+func TestOverlayOverUnfrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOverlay over unfrozen base did not panic")
+		}
+	}()
+	NewOverlay(NewStore())
+}

@@ -9,11 +9,23 @@
 // realizes the UNA over the Skolemized Herbrand universe: distinct constants
 // are distinct values, and a Skolem term equals another term only if they
 // are syntactically identical.
+//
+// # Freezing and overlays
+//
+// Stores are append-only, which makes an immutability discipline cheap:
+// Freeze marks a store read-only (any further interning panics), Clone
+// copies a root store preserving every ID, and NewOverlay layers a fresh
+// mutable store over a frozen base. An overlay continues the base's ID
+// space: lookups resolve through the base chain, and new terms get IDs
+// starting at the base's Len. This is how snapshots answer queries without
+// mutating shared state — query-time interning lands in a small per-call
+// overlay while the frozen base serves unlimited concurrent readers.
 package term
 
 import (
 	"encoding/binary"
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 )
@@ -66,19 +78,28 @@ type functorData struct {
 }
 
 // Store interns terms and Skolem functors. The zero value is not usable;
-// create stores with NewStore. A Store is not safe for concurrent mutation;
-// engines own their store.
+// create stores with NewStore (a root store) or NewOverlay (a mutable
+// layer over a frozen base). A Store is not safe for concurrent mutation;
+// a frozen Store is safe for unlimited concurrent readers.
 type Store struct {
-	terms    []termData
+	terms    []termData // local terms; global ID = off + local index
 	functors []functorData
 
 	constIdx   map[string]ID
 	varIdx     map[string]ID
 	skolemIdx  map[string]ID // key: packed functor + arg IDs
 	functorIdx map[string]FunctorID
+
+	// Overlay support: base is the frozen store underneath (nil for root
+	// stores); off/offFn are the number of terms/functors in the base
+	// chain, i.e. the first locally owned ID.
+	base   *Store
+	off    int
+	offFn  int
+	frozen bool
 }
 
-// NewStore returns an empty term store.
+// NewStore returns an empty root term store.
 func NewStore() *Store {
 	return &Store{
 		constIdx:   make(map[string]ID),
@@ -88,18 +109,91 @@ func NewStore() *Store {
 	}
 }
 
-// Len reports the number of interned terms.
-func (s *Store) Len() int { return len(s.terms) }
+// NewOverlay returns a mutable store layered over base, which must be
+// frozen. The overlay shares the base's ID space: every base ID resolves
+// identically, and newly interned terms receive IDs from base.Len()
+// upward. Overlays may themselves be frozen and used as bases.
+func NewOverlay(base *Store) *Store {
+	if !base.frozen {
+		panic("term: NewOverlay over an unfrozen base store")
+	}
+	s := NewStore()
+	s.base = base
+	s.off = base.Len()
+	s.offFn = base.NumFunctors()
+	return s
+}
 
-// NumFunctors reports the number of interned Skolem functors.
-func (s *Store) NumFunctors() int { return len(s.functors) }
+// Clone returns a mutable deep copy of a root store, preserving all IDs.
+// Interning into the clone and the original diverge from the copy point;
+// IDs interned before the clone remain valid in both.
+func (s *Store) Clone() *Store {
+	if s.base != nil {
+		panic("term: Clone of an overlay store")
+	}
+	return &Store{
+		terms:      append([]termData(nil), s.terms...),
+		functors:   append([]functorData(nil), s.functors...),
+		constIdx:   maps.Clone(s.constIdx),
+		varIdx:     maps.Clone(s.varIdx),
+		skolemIdx:  maps.Clone(s.skolemIdx),
+		functorIdx: maps.Clone(s.functorIdx),
+	}
+}
+
+// Freeze marks the store immutable: any further interning panics. Freeze
+// is idempotent. A frozen store is safe for concurrent readers and may
+// serve as the base of overlays.
+func (s *Store) Freeze() { s.frozen = true }
+
+// Frozen reports whether the store has been frozen.
+func (s *Store) Frozen() bool { return s.frozen }
+
+func (s *Store) mutable() {
+	if s.frozen {
+		panic("term: interning into a frozen store (use an overlay)")
+	}
+}
+
+// data resolves a term ID through the overlay chain.
+func (s *Store) data(t ID) *termData {
+	for int(t) < s.off {
+		s = s.base
+	}
+	return &s.terms[int(t)-s.off]
+}
+
+// functor resolves a functor ID through the overlay chain.
+func (s *Store) functor(f FunctorID) *functorData {
+	for int(f) < s.offFn {
+		s = s.base
+	}
+	return &s.functors[int(f)-s.offFn]
+}
+
+// Len reports the number of interned terms (including the base chain).
+func (s *Store) Len() int { return s.off + len(s.terms) }
+
+// NumLocal reports the number of terms interned into this layer alone,
+// excluding any base. For root stores NumLocal equals Len.
+func (s *Store) NumLocal() int { return len(s.terms) }
+
+// NumFunctors reports the number of interned Skolem functors (including
+// the base chain).
+func (s *Store) NumFunctors() int { return s.offFn + len(s.functors) }
+
+// NumLocalFunctors reports the functors interned into this layer alone.
+func (s *Store) NumLocalFunctors() int { return len(s.functors) }
 
 // Const interns the data constant with the given name and returns its ID.
 func (s *Store) Const(name string) ID {
-	if id, ok := s.constIdx[name]; ok {
-		return id
+	for c := s; c != nil; c = c.base {
+		if id, ok := c.constIdx[name]; ok {
+			return id
+		}
 	}
-	id := ID(len(s.terms))
+	s.mutable()
+	id := ID(s.off + len(s.terms))
 	s.terms = append(s.terms, termData{kind: Const, name: name, fn: -1})
 	s.constIdx[name] = id
 	return id
@@ -109,10 +203,13 @@ func (s *Store) Const(name string) ID {
 // Variables live in the same ID space as other terms so substitutions can
 // be expressed as term-to-term maps.
 func (s *Store) Var(name string) ID {
-	if id, ok := s.varIdx[name]; ok {
-		return id
+	for c := s; c != nil; c = c.base {
+		if id, ok := c.varIdx[name]; ok {
+			return id
+		}
 	}
-	id := ID(len(s.terms))
+	s.mutable()
+	id := ID(s.off + len(s.terms))
 	s.terms = append(s.terms, termData{kind: Var, name: name, fn: -1})
 	s.varIdx[name] = id
 	return id
@@ -122,37 +219,43 @@ func (s *Store) Var(name string) ID {
 // Re-interning an existing name with a different arity is a programming
 // error and panics: functor identity includes its arity by construction.
 func (s *Store) Functor(name string, arity int) FunctorID {
-	if id, ok := s.functorIdx[name]; ok {
-		if got := s.functors[id].arity; got != arity {
-			panic(fmt.Sprintf("term: functor %q re-declared with arity %d (was %d)", name, arity, got))
+	for c := s; c != nil; c = c.base {
+		if id, ok := c.functorIdx[name]; ok {
+			if got := s.FunctorArity(id); got != arity {
+				panic(fmt.Sprintf("term: functor %q re-declared with arity %d (was %d)", name, arity, got))
+			}
+			return id
 		}
-		return id
 	}
-	id := FunctorID(len(s.functors))
+	s.mutable()
+	id := FunctorID(s.offFn + len(s.functors))
 	s.functors = append(s.functors, functorData{name: name, arity: arity})
 	s.functorIdx[name] = id
 	return id
 }
 
 // FunctorName returns the name of an interned functor.
-func (s *Store) FunctorName(f FunctorID) string { return s.functors[f].name }
+func (s *Store) FunctorName(f FunctorID) string { return s.functor(f).name }
 
 // FunctorArity returns the arity of an interned functor.
-func (s *Store) FunctorArity(f FunctorID) int { return s.functors[f].arity }
+func (s *Store) FunctorArity(f FunctorID) int { return s.functor(f).arity }
 
 // Skolem interns the ground Skolem term f(args...) and returns its ID.
 // All argument terms must be ground (constants or Skolem terms).
 func (s *Store) Skolem(f FunctorID, args []ID) ID {
-	if want := s.functors[f].arity; len(args) != want {
-		panic(fmt.Sprintf("term: functor %q applied to %d args, want %d", s.functors[f].name, len(args), want))
+	if want := s.FunctorArity(f); len(args) != want {
+		panic(fmt.Sprintf("term: functor %q applied to %d args, want %d", s.FunctorName(f), len(args), want))
 	}
 	key := skolemKey(f, args)
-	if id, ok := s.skolemIdx[key]; ok {
-		return id
+	for c := s; c != nil; c = c.base {
+		if id, ok := c.skolemIdx[key]; ok {
+			return id
+		}
 	}
+	s.mutable()
 	depth := int32(0)
 	for _, a := range args {
-		td := &s.terms[a]
+		td := s.data(a)
 		if td.kind == Var {
 			panic("term: Skolem term with variable argument")
 		}
@@ -165,7 +268,7 @@ func (s *Store) Skolem(f FunctorID, args []ID) ID {
 	}
 	own := make([]ID, len(args))
 	copy(own, args)
-	id := ID(len(s.terms))
+	id := ID(s.off + len(s.terms))
 	s.terms = append(s.terms, termData{kind: Skolem, fn: f, args: own, depth: depth})
 	s.skolemIdx[key] = id
 	return id
@@ -181,30 +284,34 @@ func skolemKey(f FunctorID, args []ID) string {
 }
 
 // Kind returns the kind of t.
-func (s *Store) Kind(t ID) Kind { return s.terms[t].kind }
+func (s *Store) Kind(t ID) Kind { return s.data(t).kind }
 
 // IsGround reports whether t contains no variables. Constants and Skolem
 // terms are always ground (Skolem arguments are ground by construction).
-func (s *Store) IsGround(t ID) bool { return s.terms[t].kind != Var }
+func (s *Store) IsGround(t ID) bool { return s.data(t).kind != Var }
 
 // Name returns the name of a constant or variable, or "" for Skolem terms.
-func (s *Store) Name(t ID) string { return s.terms[t].name }
+func (s *Store) Name(t ID) string { return s.data(t).name }
 
 // SkolemFunctor returns the functor of a Skolem term, or -1 otherwise.
-func (s *Store) SkolemFunctor(t ID) FunctorID { return s.terms[t].fn }
+func (s *Store) SkolemFunctor(t ID) FunctorID { return s.data(t).fn }
 
 // SkolemArgs returns the argument slice of a Skolem term (do not mutate),
 // or nil otherwise.
-func (s *Store) SkolemArgs(t ID) []ID { return s.terms[t].args }
+func (s *Store) SkolemArgs(t ID) []ID { return s.data(t).args }
 
 // Depth returns the Skolem-nesting depth of t: 0 for constants and
 // variables, 1+max(arg depths) for Skolem terms.
-func (s *Store) Depth(t ID) int { return int(s.terms[t].depth) }
+func (s *Store) Depth(t ID) int { return int(s.data(t).depth) }
 
 // LookupConst returns the ID of an already-interned constant.
 func (s *Store) LookupConst(name string) (ID, bool) {
-	id, ok := s.constIdx[name]
-	return id, ok
+	for c := s; c != nil; c = c.base {
+		if id, ok := c.constIdx[name]; ok {
+			return id, true
+		}
+	}
+	return None, false
 }
 
 // Compare orders two ground terms per §2.1: a lexicographic order on
@@ -215,7 +322,7 @@ func (s *Store) Compare(a, b ID) int {
 	if a == b {
 		return 0
 	}
-	ta, tb := &s.terms[a], &s.terms[b]
+	ta, tb := s.data(a), s.data(b)
 	if ta.kind != tb.kind {
 		// Constants precede Skolem terms (nulls follow all of ∆).
 		if ta.kind == Const {
@@ -227,7 +334,7 @@ func (s *Store) Compare(a, b ID) int {
 	case Const, Var:
 		return strings.Compare(ta.name, tb.name)
 	default: // Skolem
-		fa, fb := s.functors[ta.fn].name, s.functors[tb.fn].name
+		fa, fb := s.FunctorName(ta.fn), s.FunctorName(tb.fn)
 		if c := strings.Compare(fa, fb); c != 0 {
 			return c
 		}
@@ -254,13 +361,13 @@ func (s *Store) Sort(ts []ID) {
 // String renders a term. Constants and variables print their name; Skolem
 // terms print functor(args...).
 func (s *Store) String(t ID) string {
-	td := &s.terms[t]
+	td := s.data(t)
 	switch td.kind {
 	case Const, Var:
 		return td.name
 	default:
 		var b strings.Builder
-		b.WriteString(s.functors[td.fn].name)
+		b.WriteString(s.FunctorName(td.fn))
 		b.WriteByte('(')
 		for i, a := range td.args {
 			if i > 0 {

@@ -1,0 +1,49 @@
+package wfs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atom"
+	"repro/internal/parser"
+	"repro/internal/program"
+)
+
+// Query is a prepared NBCQ: parsed and normalized once, reusable across
+// any number of snapshots and goroutines. Preparation pays the parse and
+// normalization cost up front; per-snapshot compilation (resolving
+// predicate and constant names to interned IDs) is cached lock-free inside
+// the Query whenever the query mentions only names the snapshot already
+// knows, which is the common case on a hot serving path.
+type Query struct {
+	text string // canonical surface form (NormalizeQuery)
+	ast  *parser.Query
+
+	// compiled caches the last snapshot-independent compilation. A single
+	// slot suffices: a serving process answers against one current
+	// snapshot at a time, and a miss only costs a recompile.
+	compiled atomic.Pointer[compiledQuery]
+}
+
+// compiledQuery pins a compiled form to the snapshot base store whose ID
+// space it references. Only "pristine" compilations — those that interned
+// nothing new — are cached, so cq references base IDs exclusively and is
+// valid against every model of that snapshot.
+type compiledQuery struct {
+	store *atom.Store
+	cq    *program.Query
+}
+
+// Prepare parses an NBCQ (with or without the leading '?') into a
+// reusable Query. The same Query may be answered concurrently against any
+// snapshot, including snapshots of different systems.
+func Prepare(query string) (*Query, error) {
+	pq, err := parser.ParseQueryString(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{text: parser.FormatQuery(pq), ast: pq}, nil
+}
+
+// String returns the canonical surface form of the query (the same string
+// NormalizeQuery produces), suitable as a cache key.
+func (q *Query) String() string { return q.text }

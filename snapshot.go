@@ -1,0 +1,294 @@
+package wfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/atom"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/program"
+)
+
+// Snapshot is an immutable, fully evaluable view of a System at one
+// mutation epoch: a frozen term/atom store, the compiled program, and the
+// database as of that epoch. A Snapshot is safe for unlimited concurrent
+// readers and acquires no mutex on the query-answering hot path.
+//
+// Evaluation state (the model at the configured depth, plus one model per
+// rung of the adaptive-deepening ladder) is built lazily, at most once per
+// snapshot, on a private overlay store layered over the frozen base —
+// so evaluation interns chase-derived terms without ever mutating shared
+// state. Query-time interning of names the snapshot has never seen goes
+// into a small per-call overlay the same way.
+//
+// A Snapshot remains answerable forever: it keeps serving its epoch's
+// consistent view even after the originating System has accepted further
+// writes. Grab a fresh snapshot (System.Snapshot) to observe them.
+type Snapshot struct {
+	store   *atom.Store // frozen
+	prog    *program.Program
+	db      program.Database
+	queries []*program.Query
+	opts    core.Options // defaults resolved
+	epoch   uint64
+
+	base  snapModel   // model at the configured depth (Select, TruthOf, …)
+	rungs []snapModel // adaptive-deepening ladder (Answer)
+
+	ranksOnce sync.Once // guards Model.PrepareExplanations on base
+	statsOnce sync.Once
+	stats     Stats
+}
+
+// snapModel lazily evaluates one model over a private overlay store. The
+// sync.Once makes construction race-free; after it, the model and its
+// (frozen) overlay store are read-only.
+type snapModel struct {
+	depth int
+	once  sync.Once
+	m     *core.Model
+}
+
+func (sm *snapModel) get(s *Snapshot) *core.Model {
+	sm.once.Do(func() {
+		ost := atom.NewOverlay(s.store)
+		eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
+		m := eng.EvaluateAtDepth(sm.depth)
+		m.Precompute()
+		ost.Freeze()
+		sm.m = m
+	})
+	return sm.m
+}
+
+// newSnapshot builds a snapshot from an already-frozen store clone and a
+// clipped database slice. Callers (System.Snapshot) hold the system lock.
+func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
+	queries []*program.Query, opts core.Options, epoch uint64) *Snapshot {
+	opts = opts.WithDefaults()
+	s := &Snapshot{
+		store:   store,
+		prog:    prog.WithStore(store),
+		db:      db,
+		queries: queries,
+		opts:    opts,
+		epoch:   epoch,
+	}
+	s.base = snapModel{depth: opts.Depth}
+	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
+		s.rungs = append(s.rungs, snapModel{depth: d})
+	}
+	return s
+}
+
+// Epoch returns the mutation epoch this snapshot was taken at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumFacts returns the number of database facts in the snapshot.
+func (s *Snapshot) NumFacts() int { return len(s.db) }
+
+// compileFor compiles a prepared query against the ID space of model m,
+// interning unknown names into a per-call overlay over m's store. When
+// compilation interns nothing new, the result references only base-store
+// IDs and is cached in the Query for lock-free reuse across all models of
+// this snapshot.
+func (s *Snapshot) compileFor(q *Query, m *core.Model) (*program.Query, error) {
+	if c := q.compiled.Load(); c != nil && c.store == s.store {
+		return c.cq, nil
+	}
+	ost := atom.NewOverlay(m.Chase.Prog.Store)
+	cq, err := program.CompileQuery(q.ast, ost)
+	if err != nil {
+		return nil, err
+	}
+	if ost.Pristine() {
+		q.compiled.Store(&compiledQuery{store: s.store, cq: cq})
+	}
+	return cq, nil
+}
+
+// answerLadder runs core.AdaptiveAnswer over the snapshot's cached rungs:
+// the same deepening/stability algorithm as Engine.Answer, but each depth
+// resolves to a model built at most once per snapshot. compile resolves
+// the query against each rung's ID space.
+func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error)) (Truth, *core.AnswerStats, error) {
+	return core.AdaptiveAnswer(s.opts, s.rungAt, compile)
+}
+
+// rungAt returns (building if necessary) the ladder model at the given
+// depth. The rung schedule is derived from the same resolved options
+// AdaptiveAnswer iterates with, so every requested depth has a rung.
+func (s *Snapshot) rungAt(depth int) *core.Model {
+	i := (depth - s.opts.AdaptiveStart) / s.opts.AdaptiveStep
+	if i < 0 || i >= len(s.rungs) || s.rungs[i].depth != depth {
+		panic(fmt.Sprintf("wfs: no snapshot rung at depth %d", depth))
+	}
+	return s.rungs[i].get(s)
+}
+
+// Answer evaluates a prepared NBCQ by adaptive deepening and returns the
+// three-valued answer. Safe for unlimited concurrent callers.
+func (s *Snapshot) Answer(q *Query) (Truth, error) {
+	t, _, err := s.AnswerWithStats(q)
+	return t, err
+}
+
+// AnswerWithStats is Answer returning the adaptive-deepening trace.
+func (s *Snapshot) AnswerWithStats(q *Query) (Truth, *core.AnswerStats, error) {
+	return s.answerLadder(func(m *core.Model) (*program.Query, error) {
+		return s.compileFor(q, m)
+	})
+}
+
+// answerCompiled runs the ladder for a query compiled at load time against
+// the system's root store (embedded '?' queries). Such queries reference
+// only pre-snapshot IDs, valid against every model.
+func (s *Snapshot) answerCompiled(cq *program.Query) Truth {
+	t, _, _ := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil })
+	return t
+}
+
+// AnswerAll answers every query embedded in the loaded source.
+func (s *Snapshot) AnswerAll() []QueryResult {
+	out := make([]QueryResult, 0, len(s.queries))
+	for _, cq := range s.queries {
+		out = append(out, QueryResult{Query: cq.Label, Answer: s.answerCompiled(cq)})
+	}
+	return out
+}
+
+// Select returns the certain answers of a non-Boolean prepared query as
+// tuples of constant names in the query's variable order (§2.1: answers
+// are tuples over ∆, so bindings to labelled nulls are excluded). The
+// first return lists the variable names. Selection runs against the model
+// at the configured depth.
+func (s *Snapshot) Select(q *Query) ([]string, [][]string, error) {
+	m := s.base.get(s)
+	cq, err := s.compileFor(q, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := m.Chase.Prog.Store
+	tuples := m.Select(cq)
+	out := make([][]string, len(tuples))
+	for i, tup := range tuples {
+		row := make([]string, len(tup))
+		for j, t := range tup {
+			row[j] = st.Terms.String(t)
+		}
+		out[i] = row
+	}
+	return append([]string(nil), cq.VarNames...), out, nil
+}
+
+// groundAtom parses "pred(c1,…,cn)" against model m's ID space, interning
+// unseen names into a per-call overlay. The returned store renders the
+// atom and any proof over it.
+func (s *Snapshot) groundAtom(m *core.Model, src string) (atom.AtomID, *atom.Store, error) {
+	ost := atom.NewOverlay(m.Chase.Prog.Store)
+	q, err := program.ParseQuery(src, ost)
+	if err != nil {
+		return atom.NoAtom, nil, err
+	}
+	if len(q.Pos) != 1 || len(q.Neg) != 0 || q.NumVars != 0 {
+		return atom.NoAtom, nil, fmt.Errorf("wfs: %q is not a single ground atom", src)
+	}
+	return ost.Instantiate(q.Pos[0], atom.NewSubst(0)), ost, nil
+}
+
+// TruthOf returns the truth of a ground atom written in surface syntax,
+// e.g. TruthOf("win(a)"), in the configured-depth model.
+func (s *Snapshot) TruthOf(atomSrc string) (Truth, error) {
+	m := s.base.get(s)
+	a, _, err := s.groundAtom(m, atomSrc)
+	if err != nil {
+		return False, err
+	}
+	return m.Truth(a), nil
+}
+
+// Explain renders a forward proof (Definition 5) of a ground atom. The
+// boolean reports whether the atom is true in the model (only true atoms
+// have forward proofs); the error reports malformed input. The two are
+// distinct: a parse failure is an error, not "false".
+func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
+	m := s.base.get(s)
+	a, ost, err := s.groundAtom(m, atomSrc)
+	if err != nil {
+		return "", false, err
+	}
+	s.ranksOnce.Do(m.PrepareExplanations)
+	proof, ok := m.Explain(a)
+	if !ok {
+		return "", false, nil
+	}
+	return proof.Render(ost), true, nil
+}
+
+// WCheck runs the goal-directed membership check on a ground atom.
+func (s *Snapshot) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
+	m := s.base.get(s)
+	a, _, err := s.groundAtom(m, atomSrc)
+	if err != nil {
+		return False, nil, err
+	}
+	t, stats := m.WCheck(a)
+	return t, stats, nil
+}
+
+// CheckConstraints evaluates the program's negative constraints and EGDs
+// against the configured-depth model.
+func (s *Snapshot) CheckConstraints() []core.Violation {
+	return s.base.get(s).CheckConstraints()
+}
+
+// TrueFacts renders all true atoms of the model, sorted.
+func (s *Snapshot) TrueFacts() []string { return s.renderFacts(ground.True) }
+
+// UndefinedFacts renders all undefined atoms of the model, sorted.
+func (s *Snapshot) UndefinedFacts() []string { return s.renderFacts(ground.Undefined) }
+
+// renderFacts renders every atom with the given truth value. It runs
+// entirely on the snapshot — no system lock is held — and preallocates the
+// output from a truth-value count so rendering large models does not
+// repeatedly regrow the slice.
+func (s *Snapshot) renderFacts(tv Truth) []string {
+	m := s.base.get(s)
+	st := m.Chase.Prog.Store
+	n := 0
+	for _, t := range m.GM.Truth {
+		if t == tv {
+			n++
+		}
+	}
+	out := make([]string, 0, n)
+	for i, g := range m.GP.Atoms {
+		if m.GM.Truth[i] == tv {
+			out = append(out, st.String(g))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes the snapshot's evaluated model. The summary is computed
+// once per snapshot and cached; concurrent callers share it.
+func (s *Snapshot) Stats() Stats {
+	s.statsOnce.Do(func() {
+		m := s.base.get(s)
+		_, strat := s.prog.Stratify()
+		delta := core.DeltaForSchema(s.store)
+		s.stats = Stats{
+			Facts:      len(s.db),
+			Epoch:      s.epoch,
+			Model:      m.Stats(),
+			Algorithm:  s.opts.Algorithm.String(),
+			Stratified: strat,
+			DeltaBound: formatBig(delta),
+			DeltaBits:  delta.BitLen(),
+		}
+	})
+	return s.stats
+}

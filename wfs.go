@@ -15,7 +15,9 @@
 //	    scientist(X) -> isAuthorOf(X, Y).
 //	    conferencePaper(X) -> article(X).
 //	`)
-//	ans, err := sys.Answer("? isAuthorOf(john, X).")
+//	snap, err := sys.Snapshot()             // immutable evaluated view
+//	q, err := wfs.Prepare("? isAuthorOf(john, X).")
+//	ans, err := snap.Answer(q)              // lock-free; share snap freely
 //	// ans == wfs.True
 //
 // See the examples/ directory for complete programs, internal/core for the
@@ -23,26 +25,34 @@
 //
 // # Concurrency
 //
-// A System is safe for concurrent use through its string-based methods
-// (AddFact, LoadCSV, Answer, AnswerWithStats, Select, TruthOf, ExplainAtom,
-// WCheck, TrueFacts, UndefinedFacts, CheckConstraints, AnswerAll, Stats,
-// Epoch, NumFacts, …). Internally a single lock serializes evaluation:
-// term/atom interning is not thread-safe, and even query answering interns
-// new terms while the chase deepens adaptively, so concurrent calls share
-// one built engine rather than racing to rebuild it, and writes invalidate
-// it. Cross-session parallelism and answer caching above this layer (see
-// internal/server) provide read scaling.
+// The read API is built around immutable snapshots. System.Snapshot
+// returns the current *Snapshot: a frozen term/atom store plus the program
+// and database at one mutation epoch. Any number of goroutines may answer
+// prepared queries (Prepare) against one snapshot simultaneously — the
+// hot path acquires no mutex. Evaluation state (the model at the
+// configured depth and the adaptive-deepening ladder) is built at most
+// once per snapshot, on private overlay stores, so reads never mutate
+// shared state; query-time interning of unseen constants goes into small
+// per-call overlays the same way.
 //
-// The Engine and Model accessors — and direct access to the exported
-// Store/Prog/DB fields — hand out live internal state and are intended for
-// single-goroutine use only (tools, tests, benchmarks).
+// Writes (AddFact, LoadCSV) take the system lock, bump the epoch, and
+// invalidate the current snapshot; the next reader rebuilds it. A write
+// therefore contends only with snapshot construction (an O(store) clone),
+// never with in-flight readers, which keep answering against their — now
+// stale, still internally consistent — snapshot. The System's string
+// convenience methods (Answer, Select, TruthOf, …) are implemented as
+// "grab current snapshot, run read" and remain safe for concurrent use.
+//
+// The Engine and Model accessors hand out live internal state bound to the
+// system's own mutable store and are intended for single-goroutine use
+// only (tools, tests, benchmarks).
 package wfs
 
 import (
 	"fmt"
 	"math/big"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/atom"
 	"repro/internal/core"
@@ -67,23 +77,26 @@ const (
 type Options = core.Options
 
 // System bundles a compiled guarded normal Datalog± program, its database,
-// and an evaluation engine. See the package comment for the concurrency
-// contract.
+// and the machinery to evaluate them: a mutable master store that writes
+// intern into, and an atomically published Snapshot that reads serve from.
+// See the package comment for the concurrency contract.
 type System struct {
-	Store   *atom.Store
-	Prog    *program.Program
-	DB      program.Database
-	Queries []*program.Query
+	store   *atom.Store
+	prog    *program.Program
+	db      program.Database
+	queries []*program.Query
 
 	opts Options
 
-	// mu serializes every engine-touching operation: evaluation interns
-	// terms and atoms into Store, which is not thread-safe, so reads
-	// cannot overlap writes or each other. Cheap metadata accessors take
-	// the read side.
+	// mu serializes mutations (AddFact, LoadCSV) and snapshot
+	// construction; snapshot readers only take the write side when the
+	// snapshot must be rebuilt after a write, and cheap metadata
+	// accessors (Epoch, NumFacts, …) take the read side. The legacy
+	// Engine/Model accessors also build under the write side.
 	mu     sync.RWMutex
 	epoch  uint64
 	engine *core.Engine
+	snap   atomic.Pointer[Snapshot]
 }
 
 // Load parses and compiles a source unit (facts, rules, constraints, EGDs,
@@ -97,7 +110,31 @@ func LoadWithOptions(src string, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Store: st, Prog: prog, DB: db, Queries: queries, opts: opts}, nil
+	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts}, nil
+}
+
+// Snapshot returns the current immutable evaluated view of the system,
+// building it if a write invalidated the previous one. The returned
+// snapshot is safe for unlimited concurrent readers with no lock on the
+// query hot path; it stays answerable (at its epoch) even after later
+// writes.
+func (s *System) Snapshot() (*Snapshot, error) {
+	if snap := s.snap.Load(); snap != nil {
+		return snap, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap := s.snap.Load(); snap != nil {
+		return snap, nil // another reader built it while we waited
+	}
+	store := s.store.Clone()
+	store.Freeze()
+	// Clip the database so the snapshot's view can never observe a
+	// subsequent append, then share the clipped slice.
+	s.db = s.db[:len(s.db):len(s.db)]
+	snap := newSnapshot(store, s.prog, s.db, s.queries, s.opts, s.epoch)
+	s.snap.Store(snap)
+	return snap, nil
 }
 
 // Epoch returns the database epoch: a counter bumped by every mutation
@@ -113,7 +150,7 @@ func (s *System) Epoch() uint64 {
 func (s *System) NumFacts() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.DB)
+	return len(s.db)
 }
 
 // FactsEpoch returns the fact count and epoch as one consistent pair:
@@ -122,51 +159,60 @@ func (s *System) NumFacts() int {
 func (s *System) FactsEpoch() (facts int, epoch uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.DB), s.epoch
+	return len(s.db), s.epoch
 }
 
+// NumQueries returns the number of '?' queries embedded in the loaded
+// source.
+func (s *System) NumQueries() int { return len(s.queries) }
+
 // AddFact adds the ground fact pred(args...) to the database, creating the
-// predicate if needed, bumps the epoch, and invalidates cached evaluation
-// state.
+// predicate if needed, bumps the epoch, and invalidates the current
+// snapshot and cached evaluation state.
 func (s *System) AddFact(pred string, args ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, err := s.Store.Pred(pred, len(args))
+	p, err := s.store.Pred(pred, len(args))
 	if err != nil {
 		return err
 	}
 	ts := make([]term.ID, len(args))
 	for i, a := range args {
-		ts[i] = s.Store.Terms.Const(a)
+		ts[i] = s.store.Terms.Const(a)
 	}
-	s.DB = append(s.DB, s.Store.Atom(p, ts))
+	s.db = append(s.db, s.store.Atom(p, ts))
 	s.invalidateLocked()
 	return nil
 }
 
-// invalidateLocked drops cached evaluation state after a database
-// mutation. Callers must hold mu.
+// invalidateLocked drops the published snapshot and cached evaluation
+// state after a database mutation. Callers must hold mu.
 func (s *System) invalidateLocked() {
 	s.engine = nil
+	s.snap.Store(nil)
 	s.epoch++
 }
 
-// engineLocked returns (building if necessary) the evaluation engine.
-// Callers must hold mu.
+// engineLocked returns (building if necessary) the legacy evaluation
+// engine over the system's live store. Callers must hold mu.
 func (s *System) engineLocked() *core.Engine {
 	if s.engine == nil {
-		s.engine = core.NewEngine(s.Prog, s.DB, s.opts)
+		s.engine = core.NewEngine(s.prog, s.db, s.opts)
 	}
 	return s.engine
 }
 
-// modelLocked returns (building if necessary) the model at the configured
-// depth. Callers must hold mu.
-func (s *System) modelLocked() *core.Model { return s.engineLocked().Evaluate() }
+// snapshot is Snapshot for internal read paths; the error is currently
+// always nil but kept on the public method for forward compatibility.
+func (s *System) snapshot() *Snapshot {
+	snap, _ := s.Snapshot()
+	return snap
+}
 
-// Engine returns (building if necessary) the evaluation engine. The
-// returned engine is live internal state: it must not be used concurrently
-// with other System methods.
+// Engine returns (building if necessary) an evaluation engine over the
+// system's live store. The returned engine is live internal state: it must
+// not be used concurrently with other System methods. Prefer Snapshot for
+// anything concurrent.
 func (s *System) Engine() *core.Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,37 +220,33 @@ func (s *System) Engine() *core.Engine {
 }
 
 // Model evaluates (and caches) the well-founded model at the configured
-// depth. Like Engine, the returned model must not be used concurrently
-// with other System methods.
+// depth over the live store. Like Engine, the returned model must not be
+// used concurrently with other System methods.
 func (s *System) Model() *core.Model {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.modelLocked()
+	return s.engineLocked().Evaluate()
 }
 
 // Answer parses an NBCQ (with or without leading '?') and answers it via
-// adaptive deepening, returning the three-valued answer.
+// adaptive deepening against the current snapshot, returning the
+// three-valued answer. For repeated queries, Prepare once and use
+// Snapshot.Answer.
 func (s *System) Answer(query string) (Truth, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, err := program.ParseQuery(query, s.Store)
+	q, err := Prepare(query)
 	if err != nil {
 		return False, err
 	}
-	ans, _ := s.engineLocked().Answer(q)
-	return ans, nil
+	return s.snapshot().Answer(q)
 }
 
 // AnswerWithStats is Answer returning the adaptive-deepening trace.
 func (s *System) AnswerWithStats(query string) (Truth, *core.AnswerStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, err := program.ParseQuery(query, s.Store)
+	q, err := Prepare(query)
 	if err != nil {
 		return False, nil, err
 	}
-	ans, stats := s.engineLocked().Answer(q)
-	return ans, stats, nil
+	return s.snapshot().AnswerWithStats(q)
 }
 
 // QueryResult pairs an embedded query with its answer.
@@ -218,138 +260,67 @@ type QueryResult struct {
 // over ∆, so bindings to labelled nulls are excluded). The first return
 // lists the variable names.
 func (s *System) Select(query string) ([]string, [][]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, err := program.ParseQuery(query, s.Store)
+	q, err := Prepare(query)
 	if err != nil {
 		return nil, nil, err
 	}
-	tuples := s.modelLocked().Select(q)
-	out := make([][]string, len(tuples))
-	for i, tup := range tuples {
-		row := make([]string, len(tup))
-		for j, t := range tup {
-			row[j] = s.Store.Terms.String(t)
-		}
-		out[i] = row
-	}
-	return append([]string(nil), q.VarNames...), out, nil
+	return s.snapshot().Select(q)
 }
 
 // AnswerAll answers every query embedded in the loaded source.
 func (s *System) AnswerAll() []QueryResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]QueryResult, 0, len(s.Queries))
-	for _, q := range s.Queries {
-		ans, _ := s.engineLocked().Answer(q)
-		out = append(out, QueryResult{Query: q.Label, Answer: ans})
-	}
-	return out
-}
-
-// parseGroundAtomLocked parses "pred(c1,…,cn)" into an interned ground
-// atom. Callers must hold mu.
-func (s *System) parseGroundAtomLocked(src string) (atom.AtomID, error) {
-	q, err := program.ParseQuery(src, s.Store)
-	if err != nil {
-		return atom.NoAtom, err
-	}
-	if len(q.Pos) != 1 || len(q.Neg) != 0 || q.NumVars != 0 {
-		return atom.NoAtom, fmt.Errorf("wfs: %q is not a single ground atom", src)
-	}
-	sub := atom.NewSubst(0)
-	return s.Store.Instantiate(q.Pos[0], sub), nil
+	return s.snapshot().AnswerAll()
 }
 
 // TruthOf returns the truth of a ground atom written in surface syntax,
 // e.g. TruthOf("win(a)").
 func (s *System) TruthOf(atomSrc string) (Truth, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.parseGroundAtomLocked(atomSrc)
-	if err != nil {
-		return False, err
-	}
-	return s.modelLocked().Truth(a), nil
+	return s.snapshot().TruthOf(atomSrc)
 }
 
-// ExplainAtom renders a forward proof (Definition 5) of a true ground
-// atom, or returns false when the atom is not true in the model.
-func (s *System) ExplainAtom(atomSrc string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.parseGroundAtomLocked(atomSrc)
-	if err != nil {
-		return "", false
-	}
-	proof, ok := s.modelLocked().Explain(a)
-	if !ok {
-		return "", false
-	}
-	return proof.Render(s.Store), true
+// ExplainAtom renders a forward proof (Definition 5) of a ground atom. The
+// boolean reports whether the atom is true in the model (only true atoms
+// have proofs); the error reports malformed input — the two are distinct,
+// so callers can tell "not true" from "not an atom".
+func (s *System) ExplainAtom(atomSrc string) (string, bool, error) {
+	return s.snapshot().Explain(atomSrc)
 }
 
 // WCheck runs the goal-directed membership check on a ground atom.
 func (s *System) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, err := s.parseGroundAtomLocked(atomSrc)
-	if err != nil {
-		return False, nil, err
-	}
-	t, stats := s.modelLocked().WCheck(a)
-	return t, stats, nil
+	return s.snapshot().WCheck(atomSrc)
 }
 
 // TrueFacts renders all true atoms of the model, sorted.
-func (s *System) TrueFacts() []string { return s.renderAtoms(ground.True) }
+func (s *System) TrueFacts() []string { return s.snapshot().TrueFacts() }
 
 // UndefinedFacts renders all undefined atoms of the model, sorted.
-func (s *System) UndefinedFacts() []string { return s.renderAtoms(ground.Undefined) }
-
-func (s *System) renderAtoms(tv Truth) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.modelLocked()
-	var out []string
-	for i, g := range m.GP.Atoms {
-		if m.GM.Truth[i] == tv {
-			out = append(out, s.Store.String(g))
-		}
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *System) UndefinedFacts() []string { return s.snapshot().UndefinedFacts() }
 
 // CheckConstraints evaluates the program's negative constraints and EGDs
 // against the model.
 func (s *System) CheckConstraints() []core.Violation {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.modelLocked().CheckConstraints()
+	return s.snapshot().CheckConstraints()
 }
 
 // DeltaBound returns the Proposition 12 constant δ for the loaded schema.
 func (s *System) DeltaBound() *big.Int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return core.DeltaForSchema(s.Store)
+	return core.DeltaForSchema(s.store)
 }
 
 // Stratified reports whether the program is stratified, in which case the
-// stratified baseline semantics applies and coincides with the WFS.
+// stratified baseline semantics applies and coincides with the WFS. The
+// rule set is immutable after Load, so no lock is needed.
 func (s *System) Stratified() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.Prog.Stratify()
+	_, ok := s.prog.Stratify()
 	return ok
 }
 
 // Stats summarizes the evaluated system for reporting layers: database
 // size, epoch, schema-level bounds, and the model statistics of
-// core.Model.Stats. Building the model if necessary, it holds the write
-// lock for the duration.
+// core.Model.Stats.
 type Stats struct {
 	Facts int    // database facts
 	Epoch uint64 // mutation epoch
@@ -362,24 +333,10 @@ type Stats struct {
 	DeltaBits  int    // bit length of δ
 }
 
-// Stats evaluates (if necessary) and summarizes the current model.
-func (s *System) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.engineLocked()
-	m := e.Evaluate()
-	_, strat := s.Prog.Stratify()
-	delta := core.DeltaForSchema(s.Store)
-	return Stats{
-		Facts:      len(s.DB),
-		Epoch:      s.epoch,
-		Model:      m.Stats(),
-		Algorithm:  e.Opts.Algorithm.String(),
-		Stratified: strat,
-		DeltaBound: formatBig(delta),
-		DeltaBits:  delta.BitLen(),
-	}
-}
+// Stats evaluates (if necessary) and summarizes the current snapshot's
+// model. The result is cached on the snapshot, so repeated calls between
+// writes are cheap.
+func (s *System) Stats() Stats { return s.snapshot().Stats() }
 
 // formatBig renders a big integer exactly when small and as a power-of-two
 // magnitude when printing it in full would be unreadable (δ routinely has

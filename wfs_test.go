@@ -217,15 +217,26 @@ func TestExplainAtomFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, ok := sys.ExplainAtom("b(x)")
+	out, ok, err := sys.ExplainAtom("b(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatalf("no proof of b(x)")
 	}
 	if !strings.Contains(out, "a(x)") || !strings.Contains(out, "not blocked(x)") {
 		t.Errorf("proof rendering wrong:\n%s", out)
 	}
-	if _, ok := sys.ExplainAtom("blocked(x)"); ok {
-		t.Errorf("false atom explained as true")
+	if _, ok, err := sys.ExplainAtom("blocked(x)"); err != nil || ok {
+		t.Errorf("false atom explained as true (ok=%v err=%v)", ok, err)
+	}
+	// Malformed input surfaces as an error, not as a silent "not true".
+	if _, ok, err := sys.ExplainAtom("b("); err == nil {
+		t.Errorf("malformed atom: got ok=%v with nil error, want error", ok)
+	}
+	// A non-ground or multi-literal input is likewise an error.
+	if _, _, err := sys.ExplainAtom("b(X)"); err == nil {
+		t.Errorf("non-ground atom accepted by ExplainAtom")
 	}
 }
 
