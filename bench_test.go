@@ -178,7 +178,7 @@ func BenchmarkE8DepthStabilization(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := core.NewEngine(prog, db, core.Options{})
-		if ans, _ := e.Answer(q); ans != ground.True {
+		if ans, _, err := e.Answer(q); err != nil || ans != ground.True {
 			b.Fatal("wrong answer")
 		}
 	}
@@ -259,7 +259,7 @@ func BenchmarkParallelAnswer(b *testing.B) {
 					b.Error(err)
 					return
 				}
-				ans, _ := eng.Answer(q)
+				ans, _, _ := eng.Answer(q)
 				mu.Unlock()
 				if ans != ground.True {
 					b.Errorf("answer = %v", ans)
@@ -267,6 +267,88 @@ func BenchmarkParallelAnswer(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// BenchmarkAdaptiveLadder — the resumable-chase headline number: one cold
+// AnswerWithStats on a non-saturating program whose answer flips at every
+// rung, so adaptive deepening climbs the full ladder to MaxDepth.
+//
+//   - "incremental" is the real path: the snapshot's rungs share one
+//     chained-overlay chase — rung k+1 extends rung k's frontier
+//     (chase.Result.Extend) and appends to its grounding
+//     (ground.ExtendFromChase) instead of re-deriving it.
+//   - "from-scratch" reconstructs the pre-resumable design: every rung
+//     runs a private full chase, regrounding, and fixpoint, discarding
+//     all work done by shallower rungs.
+//
+// The acceptance bar for the resumable chase is incremental ≥ 2× faster;
+// BENCH_ladder.json records the committed baseline.
+func BenchmarkAdaptiveLadder(b *testing.B) {
+	src := bench.LadderFamily(400, 34)
+	const query = "? flip(X)."
+	ladderOpts := core.Options{MaxDepth: 32}
+
+	b.Run("incremental", func(b *testing.B) {
+		q, err := Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sys, err := LoadWithOptions(src, ladderOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap, err := sys.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ans, stats, err := snap.AnswerWithStats(q)
+			if err != nil || ans != True {
+				b.Fatalf("flip(X) = %v (%v)", ans, err)
+			}
+			if stats.FinalDepth < 32 || stats.Exact {
+				b.Fatalf("ladder did not climb: %+v", stats)
+			}
+		}
+	})
+
+	b.Run("from-scratch", func(b *testing.B) {
+		// The pre-resumable EvaluateAtDepth, reconstructed: chase from
+		// the database, reground, and re-run the fixpoint at every rung.
+		opts := ladderOpts.WithDefaults()
+		for i := 0; i < b.N; i++ {
+			st := atom.NewStore(term.NewStore())
+			prog, db, _, err := program.CompileText(src, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := program.ParseQuery(query, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			modelAt := func(d int) (*core.Model, error) {
+				res := chase.Run(prog, db, chase.Options{MaxDepth: d, MaxAtoms: opts.MaxAtoms})
+				gp := ground.FromChase(res)
+				gm := ground.AlternatingFixpoint(gp)
+				m := &core.Model{Chase: res, GP: gp, GM: gm,
+					Exact: !res.Truncated && res.ComputeStats().MaxDepth < d}
+				if m.Exact {
+					m.UsableDepth = -1
+				} else {
+					m.UsableDepth = d - opts.GuardBand
+				}
+				return m, nil
+			}
+			ans, stats, err := core.AdaptiveAnswer(opts, modelAt,
+				func(*core.Model) (*program.Query, error) { return q, nil })
+			if err != nil || ans != ground.True {
+				b.Fatalf("flip(X) = %v (%v)", ans, err)
+			}
+			if stats.FinalDepth < 32 || stats.Exact {
+				b.Fatalf("ladder did not climb: %+v", stats)
+			}
+		}
 	})
 }
 

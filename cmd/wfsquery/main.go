@@ -63,6 +63,9 @@ func main() {
 	}
 
 	for _, r := range sys.AnswerAll() {
+		if r.Err != nil {
+			fatal(r.Err)
+		}
 		fmt.Printf("%-50s %s\n", r.Query, r.Answer)
 	}
 	for _, qs := range queries {

@@ -60,6 +60,10 @@ func main() {
 		os.Exit(1)
 	}
 	for _, r := range sys.AnswerAll() {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "wfsrepl:", r.Err)
+			continue
+		}
 		fmt.Printf("%-40s %s\n", r.Query, r.Answer)
 	}
 	repl(sys, src.String(), os.Stdin, os.Stdout)

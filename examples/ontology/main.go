@@ -73,7 +73,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ans, _ := engine.Answer(q)
+		ans, _, _ := engine.Answer(q)
 		fmt.Printf("  %-34s %s\n", qs, ans)
 	}
 

@@ -34,6 +34,9 @@ func main() {
 	}
 
 	for _, r := range sys.AnswerAll() {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
 		fmt.Printf("%-35s %s\n", r.Query, r.Answer)
 	}
 

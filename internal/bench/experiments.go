@@ -349,7 +349,7 @@ func E8DepthStabilization() *Table {
 			panic(err)
 		}
 		e := core.NewEngine(prog, db, core.Options{MaxDepth: 64, StabilityWindow: 3})
-		_, stats := e.Answer(q)
+		_, stats, _ := e.Answer(q)
 		delta := core.DeltaForSchema(st)
 		t.AddRow(c.name, c.query, stats.FinalDepth, stats.Exact, delta.BitLen())
 	}

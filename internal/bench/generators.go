@@ -161,6 +161,48 @@ func EmploymentFamily(n int) *dllite.Ontology {
 	return o
 }
 
+// LadderFamily generates the adaptive-ladder stress workload: a program
+// whose chase does not saturate within the deepening ceiling and whose
+// query answer flips at every rung, so adaptive deepening walks the full
+// ladder — the worst case for per-rung re-chasing and the best case for
+// a resumable chase.
+//
+// Structure (levels = the deepest predicate chain, m = bulk width):
+//
+//   - m ternary existential chains b0(s,t,u) → b1 → … grow the derived
+//     universe by m atoms (each with a fresh Skolem null) per chase
+//     depth: the linear-in-depth bulk that a resumable chase derives and
+//     interns once and per-rung re-chasing re-derives per rung.
+//   - one unary probe chain a0 → a1 → … measures the frontier: for each
+//     level i ≡ 1 (mod 4), the rule a_i(X), not a_{i+2}(X) → g(X) fires
+//     exactly when a_i is expanded but a_{i+2} is beyond the depth bound,
+//     so g's truth value alternates between consecutive rungs of the
+//     default schedule (start 4, step 2).
+//   - base(X), not g(X) → flip(X) re-inverts g at forest depth 1, where
+//     the query "? flip(X)." can always see it (the guard band hides the
+//     frontier itself from query matching, but not from rule bodies).
+//
+// The answer therefore never meets the stability window and the ladder
+// climbs to MaxDepth — with all negation shallow and acyclic, so the WFS
+// fixpoint converges in O(1) rounds at every rung and the cost profile
+// stays chase-dominated.
+func LadderFamily(m, levels int) string {
+	var b strings.Builder
+	b.WriteString("base(c).\na0(c).\n")
+	for j := 0; j < m; j++ {
+		fmt.Fprintf(&b, "b0(s%d, t%d, u%d).\n", j, j, j)
+	}
+	for i := 0; i < levels; i++ {
+		fmt.Fprintf(&b, "a%d(X) -> a%d(X).\n", i, i+1)
+		fmt.Fprintf(&b, "b%d(X,Y,Z) -> b%d(Y,Z,W).\n", i, i+1)
+		if i%4 == 1 && i+2 <= levels {
+			fmt.Fprintf(&b, "a%d(X), not a%d(X) -> g(X).\n", i, i+2)
+		}
+	}
+	b.WriteString("base(X), not g(X) -> flip(X).\n")
+	return b.String()
+}
+
 // StratifiedFamily generates a stratified guarded program with negation
 // across strata over n persons (E5): stratum 0 derives employment from
 // contracts, stratum 1 derives seekers by negation, stratum 2 benefits.

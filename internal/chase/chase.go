@@ -73,16 +73,20 @@ type Result struct {
 	depth []int32 // per AtomID: minimal forest depth, -1 = not derived
 	level []int32 // per AtomID: derivation level (upper bound), -1 = not derived
 
-	instByGuard map[atom.AtomID][]int32 // instance indexes by guard atom
-	instKey     map[instKey]struct{}
-	waiters     map[atom.AtomID][]waiter
-	queue       []atom.AtomID // atoms pending guard expansion
-	queued      []bool        // per AtomID: currently queued or already expanded at current depth
-}
+	// The guarded-instance index is an intrusive linked list over two
+	// flat int32 slices (rather than a map of slices) so that Extend can
+	// clone the whole structure with two memcpys: firstInst[a] heads
+	// atom a's list, nextInst[i] links instance i to the previous
+	// instance with the same guard, -1 ends a list.
+	firstInst []int32 // per AtomID
+	nextInst  []int32 // per instance index
 
-type instKey struct {
-	rule  int32
-	guard atom.AtomID
+	waiters  map[atom.AtomID][]waiter
+	queue    []atom.AtomID // atoms pending guard expansion
+	queued   []bool        // per AtomID: currently in the expansion queue
+	expanded []bool        // per AtomID: guard expansion already ran
+
+	stats *Stats // cached summary; populated when the run finishes
 }
 
 type waiter struct {
@@ -96,12 +100,10 @@ func Run(prog *program.Program, db program.Database, opts Options) *Result {
 		opts.MaxDepth = 1
 	}
 	r := &Result{
-		Prog:        prog,
-		DB:          db,
-		Opts:        opts,
-		instByGuard: make(map[atom.AtomID][]int32),
-		instKey:     make(map[instKey]struct{}),
-		waiters:     make(map[atom.AtomID][]waiter),
+		Prog:    prog,
+		DB:      db,
+		Opts:    opts,
+		waiters: make(map[atom.AtomID][]waiter),
 	}
 	for _, a := range db {
 		r.derive(a, 0, 0)
@@ -115,7 +117,78 @@ func Run(prog *program.Program, db program.Database, opts Options) *Result {
 		}
 	}
 	r.run()
+	r.finish()
 	return r
+}
+
+// Extend returns a new Result that continues this chase to the deeper
+// depth bound newDepth instead of re-chasing from the database: the
+// derived universe, fired instances, dedup keys, parked waiters, and the
+// unexpanded depth-capped frontier all carry over, and only atoms at
+// depth ≥ the old bound are (newly) expanded. r itself is not mutated —
+// the mutable bookkeeping is cloned first — so models already built over
+// r keep serving concurrent readers unchanged.
+//
+// prog must share r's compiled rules (a Program.WithStore of the program
+// r was chased under) and an ID space extending r's store: either r's own
+// store (in-place deepening over a mutable store) or an overlay over its
+// frozen form (the snapshot layer's chained-overlay rungs). Pass r.Prog
+// to continue on the same store. If newDepth does not exceed the current
+// bound, or the chase already saturated strictly below it (no frontier
+// exists at any depth, so the deeper chase is identical), r is returned
+// unchanged.
+func (r *Result) Extend(prog *program.Program, newDepth int) *Result {
+	oldDepth := r.Opts.MaxDepth
+	if newDepth <= oldDepth {
+		return r
+	}
+	if r.Truncated {
+		// MaxAtoms exhaustion is permanent (atoms are never removed), so
+		// a deeper continuation can derive nothing: share the receiver.
+		return r
+	}
+	if len(r.queue) == 0 && r.ComputeStats().MaxDepth < oldDepth {
+		return r
+	}
+	waiters := make(map[atom.AtomID][]waiter, len(r.waiters))
+	for a, ws := range r.waiters {
+		waiters[a] = append([]waiter(nil), ws...)
+	}
+	nr := &Result{
+		Prog:      prog,
+		DB:        r.DB,
+		Opts:      Options{MaxDepth: newDepth, MaxAtoms: r.Opts.MaxAtoms},
+		Atoms:     cloneSlack(r.Atoms),
+		Instances: cloneSlack(r.Instances),
+		Truncated: r.Truncated,
+		depth:     cloneSlack(r.depth),
+		level:     cloneSlack(r.level),
+		firstInst: cloneSlack(r.firstInst),
+		nextInst:  cloneSlack(r.nextInst),
+		waiters:   waiters,
+		queue:     cloneSlack(r.queue),
+		queued:    cloneSlack(r.queued),
+		expanded:  cloneSlack(r.expanded),
+	}
+	// The frontier: atoms derived at the old cap were never enqueued for
+	// guard expansion. Under the raised cap they are expandable again.
+	for _, a := range nr.Atoms {
+		if d := int(nr.depth[a]); d >= oldDepth && d < newDepth {
+			nr.enqueue(a)
+		}
+	}
+	nr.run()
+	nr.finish()
+	return nr
+}
+
+// cloneSlack copies xs into a fresh slice with ~25% spare capacity, so a
+// chase continuation can append to the clone without immediately
+// re-copying the whole prefix on its first growth.
+func cloneSlack[T any](xs []T) []T {
+	out := make([]T, len(xs), len(xs)+len(xs)/4+64)
+	copy(out, xs)
+	return out
 }
 
 func (r *Result) ensure(a atom.AtomID) {
@@ -123,6 +196,8 @@ func (r *Result) ensure(a atom.AtomID) {
 		r.depth = append(r.depth, -1)
 		r.level = append(r.level, -1)
 		r.queued = append(r.queued, false)
+		r.expanded = append(r.expanded, false)
+		r.firstInst = append(r.firstInst, -1)
 	}
 }
 
@@ -148,8 +223,23 @@ func (r *Result) Level(a atom.AtomID) int {
 	return int(r.level[a])
 }
 
-// InstancesByGuard returns the indexes into Instances guarded by atom a.
-func (r *Result) InstancesByGuard(a atom.AtomID) []int32 { return r.instByGuard[a] }
+// InstancesByGuard returns the indexes into Instances guarded by atom a,
+// in firing order. The list is materialized from the intrusive index on
+// each call; inspection paths (forest building, explanations) that need
+// it repeatedly should hold on to the result.
+func (r *Result) InstancesByGuard(a atom.AtomID) []int32 {
+	if int(a) >= len(r.firstInst) {
+		return nil
+	}
+	var out []int32
+	for ii := r.firstInst[a]; ii >= 0; ii = r.nextInst[ii] {
+		out = append(out, ii)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
 
 // derive records atom a at the given depth and level, enqueueing it for
 // guard expansion when it is new or its depth decreased below the cap.
@@ -178,7 +268,7 @@ func (r *Result) derive(a atom.AtomID, depth, level int32) {
 			r.enqueue(a)
 		}
 		// Cascade the decrease to heads derived through a as guard.
-		for _, ii := range r.instByGuard[a] {
+		for ii := r.firstInst[a]; ii >= 0; ii = r.nextInst[ii] {
 			in := &r.Instances[ii]
 			if nd := depth + 1; nd < r.depth[in.Head] {
 				r.derive(in.Head, nd, r.level[in.Head])
@@ -207,6 +297,10 @@ func (r *Result) run() {
 		a := r.queue[len(r.queue)-1]
 		r.queue = r.queue[:len(r.queue)-1]
 		r.queued[a] = false
+		if r.expanded[a] {
+			continue // defensive: each atom's guard expansion runs once
+		}
+		r.expanded[a] = true
 		for _, rule := range r.Prog.RulesGuardedBy(r.Prog.Store.PredOf(a)) {
 			r.tryApply(rule, a)
 		}
@@ -216,11 +310,15 @@ func (r *Result) run() {
 // tryApply matches rule's guard against guard atom g; if the ground side
 // atoms are all derived, the instance fires, otherwise it parks on the
 // first missing side atom.
+//
+// Each (rule, guard) pair fires at most once without an explicit dedup
+// set: an atom's guard expansion runs exactly once (the expanded flag,
+// preserved across Extend), each tryApply call parks on at most one
+// missing side atom, and a wake removes the parked waiter before
+// retrying — so for a given pair there is never more than one pending
+// path to firing. The instance-dedup test and the Extend-vs-Run
+// cross-checks enforce this invariant.
 func (r *Result) tryApply(rule *program.Rule, g atom.AtomID) {
-	key := instKey{rule: int32(rule.Idx), guard: g}
-	if _, done := r.instKey[key]; done {
-		return
-	}
 	st := r.Prog.Store
 	sub := atom.NewSubst(rule.NumVars)
 	var trail []int32
@@ -255,10 +353,10 @@ func (r *Result) tryApply(rule *program.Rule, g atom.AtomID) {
 	}
 	head := r.Prog.InstantiateHead(rule, sub, &trail)
 	r.ensure(head)
-	r.instKey[key] = struct{}{}
 	ii := int32(len(r.Instances))
 	r.Instances = append(r.Instances, Instance{Rule: rule, Head: head, Pos: pos, Neg: neg})
-	r.instByGuard[g] = append(r.instByGuard[g], ii)
+	r.nextInst = append(r.nextInst, r.firstInst[g])
+	r.firstInst[g] = ii
 	r.derive(head, r.depth[g]+1, maxLevel+1)
 }
 
@@ -271,8 +369,19 @@ type Stats struct {
 	Truncated    bool
 }
 
-// Stats computes summary statistics.
+// ComputeStats returns the summary statistics of the finished chase. The
+// O(atoms) scan runs once — Run and Extend populate the cache when they
+// finish, so the engine's per-depth evaluation and every later
+// Model.Stats call share one computation.
 func (r *Result) ComputeStats() Stats {
+	if r.stats == nil {
+		r.finish()
+	}
+	return *r.stats
+}
+
+// finish computes and caches the summary statistics of a completed run.
+func (r *Result) finish() {
 	s := Stats{Atoms: len(r.Atoms), Instances: len(r.Instances), Truncated: r.Truncated}
 	for _, a := range r.Atoms {
 		if d := r.Depth(a); d > s.MaxDepth {
@@ -282,7 +391,7 @@ func (r *Result) ComputeStats() Stats {
 			s.MaxTermDepth = td
 		}
 	}
-	return s
+	r.stats = &s
 }
 
 func (s Stats) String() string {

@@ -262,6 +262,160 @@ func TestNodesLabeled(t *testing.T) {
 	}
 }
 
+// extendEqualsRun asserts that res (an Extend chain result) and a
+// from-scratch Run at the same depth agree on the derived universe (with
+// minimal depths) and on the deduplicated instance set.
+func extendEqualsRun(t *testing.T, st *atom.Store, res, scratch *Result) {
+	t.Helper()
+	if len(res.Atoms) != len(scratch.Atoms) {
+		t.Fatalf("universe size: extended %d, scratch %d", len(res.Atoms), len(scratch.Atoms))
+	}
+	for _, a := range scratch.Atoms {
+		if !res.Derived(a) {
+			t.Errorf("extended chase missing %s", st.String(a))
+		} else if res.Depth(a) != scratch.Depth(a) {
+			t.Errorf("depth(%s): extended %d, scratch %d",
+				st.String(a), res.Depth(a), scratch.Depth(a))
+		}
+	}
+	if len(res.Instances) != len(scratch.Instances) {
+		t.Fatalf("instances: extended %d, scratch %d", len(res.Instances), len(scratch.Instances))
+	}
+	want := map[[2]int32]bool{}
+	for i := range scratch.Instances {
+		in := &scratch.Instances[i]
+		want[[2]int32{int32(in.Rule.Idx), int32(in.Guard())}] = true
+	}
+	for i := range res.Instances {
+		in := &res.Instances[i]
+		if !want[[2]int32{int32(in.Rule.Idx), int32(in.Guard())}] {
+			t.Errorf("extended chase has extra instance rule=%d guard=%s",
+				in.Rule.Idx, st.String(in.Guard()))
+		}
+	}
+}
+
+func TestExtendMatchesRun(t *testing.T) {
+	prog, db, st := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 2, MaxAtoms: 10_000})
+	for _, d := range []int{4, 6, 9} {
+		res = res.Extend(prog, d)
+		if res.Opts.MaxDepth != d {
+			t.Fatalf("extended MaxDepth = %d, want %d", res.Opts.MaxDepth, d)
+		}
+		scratch := Run(prog, db, Options{MaxDepth: d, MaxAtoms: 10_000})
+		extendEqualsRun(t, st, res, scratch)
+	}
+}
+
+func TestExtendDoesNotMutateOriginal(t *testing.T) {
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 3, MaxAtoms: 10_000})
+	atoms, insts := len(res.Atoms), len(res.Instances)
+	depths := make([]int, atoms)
+	for i, a := range res.Atoms {
+		depths[i] = res.Depth(a)
+	}
+	ext := res.Extend(prog, 6)
+	if ext == res {
+		t.Fatal("Extend to a deeper bound returned the receiver")
+	}
+	if len(res.Atoms) != atoms || len(res.Instances) != insts {
+		t.Fatalf("original grew: %d atoms %d instances", len(res.Atoms), len(res.Instances))
+	}
+	for i, a := range res.Atoms {
+		if res.Depth(a) != depths[i] {
+			t.Errorf("original depth of atom %d changed", a)
+		}
+	}
+	if len(ext.Atoms) <= atoms {
+		t.Errorf("extension derived nothing beyond depth 3")
+	}
+	if res.Opts.MaxDepth != 3 {
+		t.Errorf("original depth bound changed to %d", res.Opts.MaxDepth)
+	}
+}
+
+func TestExtendNoopAtSameOrShallowerDepth(t *testing.T) {
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 4, MaxAtoms: 10_000})
+	if got := res.Extend(prog, 4); got != res {
+		t.Error("Extend to the current depth did not return the receiver")
+	}
+	if got := res.Extend(prog, 2); got != res {
+		t.Error("Extend to a shallower depth did not return the receiver")
+	}
+}
+
+// TestExtendWakesParkedWaiters: a side atom becomes available only in the
+// deeper extension, so an instance parked during the first run must fire
+// during Extend — including the depth-decrease cascade it triggers.
+func TestExtendWakesParkedWaiters(t *testing.T) {
+	src := `
+base(a).
+d0(a).
+d0(X) -> d1(X).
+d1(X) -> d2(X).
+d2(X) -> d3(X).
+base(X), d3(X) -> late(X).
+late(X) -> deep(X).
+`
+	prog, db, st := compile(t, src)
+	res := Run(prog, db, Options{MaxDepth: 2, MaxAtoms: 1000})
+	lp, _ := st.LookupPred("late")
+	ca := st.Terms.Const("a")
+	if a, ok := st.Lookup(lp, []term.ID{ca}); ok && res.Derived(a) {
+		t.Fatalf("late(a) derived before its side atom d3(a) exists")
+	}
+	ext := res.Extend(prog, 6)
+	scratch := Run(prog, db, Options{MaxDepth: 6, MaxAtoms: 1000})
+	extendEqualsRun(t, st, ext, scratch)
+	la, ok := st.Lookup(lp, []term.ID{ca})
+	if !ok || !ext.Derived(la) {
+		t.Fatalf("late(a) not derived after extension woke the parked waiter")
+	}
+	// late(a) hangs under the depth-0 guard base(a): depth 1 despite
+	// firing last.
+	if d := ext.Depth(la); d != 1 {
+		t.Errorf("depth(late(a)) = %d, want 1", d)
+	}
+}
+
+func TestExtendSaturatedChaseIsFree(t *testing.T) {
+	prog, db, _ := compile(t, `
+edge(a,b). edge(b,c). start(a).
+start(X) -> reach(X).
+reach(X), edge(X,Y) -> reach(Y).
+`)
+	res := Run(prog, db, Options{MaxDepth: 50, MaxAtoms: 10_000})
+	ext := res.Extend(prog, 100)
+	if len(ext.Atoms) != len(res.Atoms) || len(ext.Instances) != len(res.Instances) {
+		t.Errorf("saturated extension changed the universe")
+	}
+	if ext.ComputeStats().MaxDepth != res.ComputeStats().MaxDepth {
+		t.Errorf("saturated extension changed the depth profile")
+	}
+}
+
+func TestComputeStatsCached(t *testing.T) {
+	prog, db, _ := compile(t, example4)
+	res := Run(prog, db, Options{MaxDepth: 4, MaxAtoms: 10_000})
+	if res.stats == nil {
+		t.Fatal("Run did not populate the stats cache")
+	}
+	s1, s2 := res.ComputeStats(), res.ComputeStats()
+	if s1 != s2 {
+		t.Errorf("cached stats differ: %+v vs %+v", s1, s2)
+	}
+	ext := res.Extend(prog, 6)
+	if ext.stats == nil {
+		t.Fatal("Extend did not populate the stats cache")
+	}
+	if ext.ComputeStats().Atoms <= s1.Atoms {
+		t.Errorf("extended stats not recomputed: %+v", ext.ComputeStats())
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	prog, db, _ := compile(t, "p(a).")
 	res := Run(prog, db, Options{MaxDepth: 2})

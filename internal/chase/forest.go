@@ -45,6 +45,17 @@ func (r *Result) BuildForest(maxDepth, maxNodes int) *Forest {
 		f.Roots = append(f.Roots, id)
 		queue = append(queue, id)
 	}
+	// The same atom labels many forest nodes (Example 6: unboundedly
+	// many), so materialize each atom's guarded-instance list once.
+	byGuard := make(map[atom.AtomID][]int32)
+	instancesOf := func(a atom.AtomID) []int32 {
+		if ii, ok := byGuard[a]; ok {
+			return ii
+		}
+		ii := r.InstancesByGuard(a)
+		byGuard[a] = ii
+		return ii
+	}
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
@@ -52,7 +63,7 @@ func (r *Result) BuildForest(maxDepth, maxNodes int) *Forest {
 		if int(n.Depth) >= maxDepth {
 			continue
 		}
-		for _, ii := range r.instByGuard[n.Atom] {
+		for _, ii := range instancesOf(n.Atom) {
 			if len(f.Nodes) >= maxNodes {
 				f.Truncated = true
 				return f

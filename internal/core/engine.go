@@ -92,6 +92,24 @@ const DefaultDepth = 8
 // ladder) use it to see the same values an Engine would.
 func (o Options) WithDefaults() Options { return o.withDefaults() }
 
+// Validate reports option combinations that cannot answer queries. The
+// one way to build such a configuration is an adaptive-deepening schedule
+// that is empty after defaults resolve — AdaptiveStart (explicit, or
+// GuardBand+2 by default) above MaxDepth, e.g. Options{GuardBand: 30}
+// with the default MaxDepth 24. Without this check the deepening loop
+// never executes and every query silently answers False with an empty
+// trace. Load-time callers (wfs.LoadWithOptions) and AdaptiveAnswer both
+// check it.
+func (o Options) Validate() error {
+	r := o.withDefaults()
+	if r.AdaptiveStart > r.MaxDepth {
+		return fmt.Errorf(
+			"core: empty adaptive-deepening schedule: resolved AdaptiveStart %d exceeds MaxDepth %d (GuardBand %d) — raise MaxDepth or lower AdaptiveStart/GuardBand",
+			r.AdaptiveStart, r.MaxDepth, r.GuardBand)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = DefaultDepth
@@ -118,18 +136,30 @@ func (o Options) withDefaults() Options {
 }
 
 // Engine evaluates the well-founded semantics of a database under a
-// guarded normal Datalog± program.
+// guarded normal Datalog± program. Evaluation state is resumable: the
+// engine keeps its deepest chase and grounding so far, and a deeper
+// request extends them (chase.Result.Extend, ground.ExtendFromChase)
+// instead of re-chasing from the database — the adaptive-deepening
+// ladder therefore pays for each depth increment once. Models are cached
+// per depth. An Engine is single-goroutine (see wfs.Snapshot for the
+// concurrent read path).
 type Engine struct {
 	Prog *program.Program
 	DB   program.Database
 	Opts Options
 
-	cached *Model // model at Opts.Depth
+	cached *Model         // model at Opts.Depth
+	models map[int]*Model // depth → model, for ladder reuse
+
+	// Deepest chase and grounding computed so far; deeper evaluations
+	// resume from these.
+	res *chase.Result
+	gp  *ground.Program
 }
 
 // NewEngine creates an engine; opts zero-values select defaults.
 func NewEngine(prog *program.Program, db program.Database, opts Options) *Engine {
-	return &Engine{Prog: prog, DB: db, Opts: opts.withDefaults()}
+	return &Engine{Prog: prog, DB: db, Opts: opts.withDefaults(), models: make(map[int]*Model)}
 }
 
 // Model is the (bounded) well-founded model WFS(D, Σ): a three-valued
@@ -161,12 +191,65 @@ func (e *Engine) Evaluate() *Model {
 	return e.cached
 }
 
-// EvaluateAtDepth computes the model at an explicit chase depth.
+// EvaluateAtDepth computes (and caches) the model at an explicit chase
+// depth. When the requested depth exceeds the engine's deepest chase so
+// far, the chase and grounding are extended incrementally; a shallower
+// request (outside the usual monotone deepening pattern) falls back to a
+// fresh bounded chase.
 func (e *Engine) EvaluateAtDepth(depth int) *Model {
-	res := chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms})
-	gp := ground.FromChase(res)
+	if e.models == nil {
+		e.models = make(map[int]*Model)
+	}
+	if m, ok := e.models[depth]; ok {
+		return m
+	}
+	var res *chase.Result
+	var gp *ground.Program
+	switch {
+	case e.res != nil && depth > e.res.Opts.MaxDepth:
+		res = e.res.Extend(e.Prog, depth)
+		if res == e.res {
+			gp = e.gp // saturated: the deeper chase is identical
+		} else {
+			gp = ground.ExtendFromChase(e.gp, res)
+		}
+	case e.res != nil && depth == e.res.Opts.MaxDepth:
+		res, gp = e.res, e.gp
+	default:
+		res = chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms})
+		gp = ground.FromChase(res)
+	}
+	if e.res == nil || depth >= e.res.Opts.MaxDepth {
+		e.res, e.gp = res, gp
+	}
+	m := modelFrom(e.Opts, res, gp, depth)
+	e.models[depth] = m
+	return m
+}
+
+// ExtendModel continues a previously evaluated model's chase to a deeper
+// depth and evaluates the model there: the resumable-chase counterpart of
+// EvaluateAtDepth for layers that manage models themselves (the snapshot
+// ladder's chained rungs). prog must share prev's compiled rules and an
+// ID space extending its store — prev's own store, or a fresh overlay
+// over its frozen form. prev is not mutated: the extended chase and
+// grounding are appended copies, so prev keeps serving concurrent
+// readers.
+func ExtendModel(prev *Model, prog *program.Program, opts Options, depth int) *Model {
+	opts = opts.withDefaults()
+	res := prev.Chase.Extend(prog, depth)
+	gp := prev.GP
+	if res != prev.Chase {
+		gp = ground.ExtendFromChase(prev.GP, res)
+	}
+	return modelFrom(opts, res, gp, depth)
+}
+
+// modelFrom runs the configured WFS fixpoint algorithm over a grounded
+// chase and wraps the result with its exactness and guard-band metadata.
+func modelFrom(opts Options, res *chase.Result, gp *ground.Program, depth int) *Model {
 	var gm *ground.Model
-	switch e.Opts.Algorithm {
+	switch opts.Algorithm {
 	case UnfoundedSets:
 		gm = ground.UnfoundedIteration(gp)
 	case ForwardProofs:
@@ -186,7 +269,7 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 	if m.Exact {
 		m.UsableDepth = -1
 	} else {
-		m.UsableDepth = depth - e.Opts.GuardBand
+		m.UsableDepth = depth - opts.GuardBand
 	}
 	return m
 }
@@ -304,19 +387,28 @@ type AnswerStats struct {
 // opts.AdaptiveStep until the three-valued answer is unchanged for the
 // configured stability window, or the chase saturates (exact), or the
 // opts.MaxDepth ceiling is reached. modelAt supplies (or recalls) the
-// model at a given depth; compile resolves the query against that model's
-// ID space (evaluation layers that intern per model, like snapshots,
-// must recompile when the query references unseen names). Both
-// Engine.Answer and the snapshot layer delegate here, so the two paths
-// can never diverge.
-func AdaptiveAnswer(opts Options, modelAt func(depth int) *Model,
+// model at a given depth — an error (e.g. a rung schedule mismatch in the
+// snapshot layer) aborts the ladder instead of crashing or silently
+// answering False; an empty schedule (Options.Validate) is an error for
+// the same reason. compile resolves the query against that model's ID
+// space (evaluation layers that intern per model, like snapshots, must
+// recompile when the query references unseen names). Both Engine.Answer
+// and the snapshot layer delegate here, so the two paths can never
+// diverge.
+func AdaptiveAnswer(opts Options, modelAt func(depth int) (*Model, error),
 	compile func(*Model) (*program.Query, error)) (ground.Truth, *AnswerStats, error) {
+	if err := opts.Validate(); err != nil {
+		return ground.False, nil, err
+	}
 	opts = opts.withDefaults()
 	stats := &AnswerStats{}
 	var last ground.Truth
 	agree := 0
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
-		m := modelAt(d)
+		m, err := modelAt(d)
+		if err != nil {
+			return ground.False, nil, err
+		}
 		q, err := compile(m)
 		if err != nil {
 			return ground.False, nil, err
@@ -345,10 +437,13 @@ func AdaptiveAnswer(opts Options, modelAt func(depth int) *Model,
 }
 
 // Answer evaluates an NBCQ by adaptive deepening (see AdaptiveAnswer).
-func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats) {
-	ans, stats, _ := AdaptiveAnswer(e.Opts, e.EvaluateAtDepth,
+// Successive rungs share the engine's resumable chase, so the ladder
+// re-derives nothing. The error reports a configuration whose schedule
+// cannot evaluate anything (see Options.Validate).
+func (e *Engine) Answer(q *program.Query) (ground.Truth, *AnswerStats, error) {
+	return AdaptiveAnswer(e.Opts,
+		func(d int) (*Model, error) { return e.EvaluateAtDepth(d), nil },
 		func(*Model) (*program.Query, error) { return q, nil })
-	return ans, stats
 }
 
 // Holds reports whether the NBCQ is certainly satisfied (three-valued

@@ -129,7 +129,10 @@ func TestExample4QueryAnswers(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", tc.q, err)
 		}
-		got, stats := e.Answer(q)
+		got, stats, err := e.Answer(q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
 		if got != tc.want {
 			t.Errorf("%s = %v, want %v (stats %+v)", tc.q, got, tc.want, stats)
 		}
@@ -307,7 +310,10 @@ reach(X), edge(X,Y) -> reach(Y).
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats := e.Answer(q)
+	got, stats, err := e.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != ground.True {
 		t.Errorf("reach(c) = %v, want true", got)
 	}

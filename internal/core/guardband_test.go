@@ -28,8 +28,10 @@ func TestGuardBandSuppressesFrontierArtifact(t *testing.T) {
 	}
 
 	// White box: disabling the band (UsableDepth -1 = everything usable)
-	// on the same truncated model exposes the artifact.
-	raw := e.EvaluateAtDepth(8)
+	// on the same truncated model exposes the artifact. A fresh engine is
+	// used because models are cached per depth and m above must keep its
+	// guard-banded indexes.
+	raw := NewEngine(prog, db, Options{Depth: 8}).EvaluateAtDepth(8)
 	raw.UsableDepth = -1
 	if got := raw.Answer(q); got != ground.True {
 		t.Errorf("without guard band the frontier artifact should appear (got %v)", got)

@@ -31,7 +31,7 @@ likes(ann, bob). likes(bob, ann). likes(cid, cid).
 		if err != nil {
 			t.Fatalf("parse %q: %v", tc.q, err)
 		}
-		if got, _ := e.Answer(q); got != tc.want {
+		if got, _, _ := e.Answer(q); got != tc.want {
 			t.Errorf("%s = %v, want %v", tc.q, got, tc.want)
 		}
 	}
@@ -52,7 +52,7 @@ func TestQueryEqualityUnsat(t *testing.T) {
 		if !q.Unsat {
 			t.Errorf("%s not marked Unsat", qs)
 		}
-		if got, _ := e.Answer(q); got != ground.False {
+		if got, _, _ := e.Answer(q); got != ground.False {
 			t.Errorf("%s = %v, want false", qs, got)
 		}
 	}
@@ -67,14 +67,14 @@ func TestQueryEqualityMakesNegativeSafe(t *testing.T) {
 	if err != nil {
 		t.Fatalf("equality-bound negative rejected: %v", err)
 	}
-	if got, _ := e.Answer(q); got != ground.False { // q(b) is true
+	if got, _, _ := e.Answer(q); got != ground.False { // q(b) is true
 		t.Errorf("answer = %v, want false", got)
 	}
 	q2, err := program.ParseQuery("? p(X), Y = c, not q(Y).", st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := e.Answer(q2); got != ground.True { // q(c) never derived
+	if got, _, _ := e.Answer(q2); got != ground.True { // q(c) never derived
 		t.Errorf("answer = %v, want true", got)
 	}
 	// Unbound equality chain stays unsafe.

@@ -67,9 +67,17 @@ type Program struct {
 	Atoms []atom.AtomID
 	Rules []Rule
 
-	localIdx    map[atom.AtomID]int32
+	// localIdx maps global atom IDs (dense per store) to local indexes,
+	// -1 for atoms outside the universe; nil for purely local programs.
+	localIdx    []int32
 	rulesByHead [][]int32
 	posOcc      [][]int32 // per atom: rules with a positive occurrence (with multiplicity)
+
+	// chaseAtoms/chaseInsts record how much of the originating chase
+	// Result this program consumed, so ExtendFromChase can reground only
+	// the appended suffix of a deeper chase.
+	chaseAtoms int
+	chaseInsts int
 }
 
 // NumAtoms returns the universe size.
@@ -103,24 +111,82 @@ func (p *Program) index(n int) {
 // body atom of an instance, with one rule per instance and one fact per
 // depth-0 atom.
 func FromChase(res *chase.Result) *Program {
-	local := make(map[atom.AtomID]int32)
-	var atoms []atom.AtomID
+	p := &Program{}
+	p.ingest(res)
+	p.index(len(p.Atoms))
+	return p
+}
+
+// ExtendFromChase converts res — a chase.Extend continuation of the
+// result prev was built from — into a ground program by regrounding only
+// the appended suffix: every atom of prev keeps its local index, and new
+// atoms, facts, and rule instances are appended. prev is not mutated (its
+// index slices are copied on first append), so a model computed over prev
+// keeps serving concurrent readers. Passing a prev that did not come from
+// FromChase/ExtendFromChase (or a res that is not an extension of it)
+// falls back to a full FromChase.
+func ExtendFromChase(prev *Program, res *chase.Result) *Program {
+	if prev == nil || prev.localIdx == nil ||
+		prev.chaseAtoms > len(res.Atoms) || prev.chaseInsts > len(res.Instances) {
+		return FromChase(res)
+	}
+	newInsts := len(res.Instances) - prev.chaseInsts
+	// Clone localIdx directly at the extended store's length so ingest
+	// does not immediately regrow (and re-copy) it.
+	localIdx := make([]int32, max(res.Prog.Store.Len(), len(prev.localIdx)))
+	n := copy(localIdx, prev.localIdx)
+	for i := n; i < len(localIdx); i++ {
+		localIdx[i] = -1
+	}
+	p := &Program{
+		Atoms:      cloneSlack(prev.Atoms, newInsts),
+		Rules:      cloneSlack(prev.Rules, newInsts),
+		localIdx:   localIdx,
+		chaseAtoms: prev.chaseAtoms,
+		chaseInsts: prev.chaseInsts,
+	}
+	firstNewRule := len(p.Rules)
+	p.ingest(res)
+	p.extendIndex(prev, firstNewRule)
+	return p
+}
+
+// cloneSlack copies xs into a fresh slice with spare capacity for the
+// expected number of appends, so extension never re-copies the prefix.
+func cloneSlack[T any](xs []T, slack int) []T {
+	out := make([]T, len(xs), len(xs)+slack+16)
+	copy(out, xs)
+	return out
+}
+
+// ingest appends the not-yet-consumed suffix of res (per the
+// chaseAtoms/chaseInsts cursors): fact rules for new depth-0 atoms, then
+// one rule per new instance, interning unseen global atoms as fresh local
+// indexes.
+func (p *Program) ingest(res *chase.Result) {
+	if storeLen := res.Prog.Store.Len(); storeLen > len(p.localIdx) {
+		nl := make([]int32, storeLen)
+		n := copy(nl, p.localIdx)
+		for i := n; i < storeLen; i++ {
+			nl[i] = -1
+		}
+		p.localIdx = nl
+	}
 	idx := func(a atom.AtomID) int32 {
-		if i, ok := local[a]; ok {
+		if i := p.localIdx[a]; i >= 0 {
 			return i
 		}
-		i := int32(len(atoms))
-		local[a] = i
-		atoms = append(atoms, a)
+		i := int32(len(p.Atoms))
+		p.localIdx[a] = i
+		p.Atoms = append(p.Atoms, a)
 		return i
 	}
-	var rules []Rule
-	for _, a := range res.Atoms {
+	for _, a := range res.Atoms[p.chaseAtoms:] {
 		if res.Depth(a) == 0 {
-			rules = append(rules, Rule{Head: idx(a)})
+			p.Rules = append(p.Rules, Rule{Head: idx(a)})
 		}
 	}
-	for i := range res.Instances {
+	for i := p.chaseInsts; i < len(res.Instances); i++ {
 		in := &res.Instances[i]
 		r := Rule{Head: idx(in.Head)}
 		for _, b := range in.Pos {
@@ -129,18 +195,46 @@ func FromChase(res *chase.Result) *Program {
 		for _, b := range in.Neg {
 			r.Neg = append(r.Neg, idx(b))
 		}
-		rules = append(rules, r)
+		p.Rules = append(p.Rules, r)
 	}
-	p := &Program{Atoms: atoms, Rules: rules, localIdx: local}
-	p.index(len(atoms))
-	return p
+	p.chaseAtoms = len(res.Atoms)
+	p.chaseInsts = len(res.Instances)
+}
+
+// extendIndex extends prev's rule indexes with the rules appended from
+// firstNewRule on. Inner slices are shared with prev until a new rule
+// touches them, then copied — never appended to in place, since prev's
+// slices may have spare capacity backing prev's own reads.
+func (p *Program) extendIndex(prev *Program, firstNewRule int) {
+	n := len(p.Atoms)
+	p.rulesByHead = make([][]int32, n)
+	copy(p.rulesByHead, prev.rulesByHead)
+	p.posOcc = make([][]int32, n)
+	copy(p.posOcc, prev.posOcc)
+	ownedHead := make([]bool, n)
+	ownedPos := make([]bool, n)
+	for ri := firstNewRule; ri < len(p.Rules); ri++ {
+		r := &p.Rules[ri]
+		if !ownedHead[r.Head] {
+			p.rulesByHead[r.Head] = append([]int32(nil), p.rulesByHead[r.Head]...)
+			ownedHead[r.Head] = true
+		}
+		p.rulesByHead[r.Head] = append(p.rulesByHead[r.Head], int32(ri))
+		for _, b := range r.Pos {
+			if !ownedPos[b] {
+				p.posOcc[b] = append([]int32(nil), p.posOcc[b]...)
+				ownedPos[b] = true
+			}
+			p.posOcc[b] = append(p.posOcc[b], int32(ri))
+		}
+	}
 }
 
 // Local returns the local index of global atom a, or -1 if a is not in the
 // program's universe.
 func (p *Program) Local(a atom.AtomID) int32 {
-	if i, ok := p.localIdx[a]; ok {
-		return i
+	if int(a) < len(p.localIdx) {
+		return p.localIdx[a]
 	}
 	return -1
 }

@@ -16,11 +16,16 @@ import (
 // database as of that epoch. A Snapshot is safe for unlimited concurrent
 // readers and acquires no mutex on the query-answering hot path.
 //
-// Evaluation state (the model at the configured depth, plus one model per
-// rung of the adaptive-deepening ladder) is built lazily, at most once per
-// snapshot, on a private overlay store layered over the frozen base —
-// so evaluation interns chase-derived terms without ever mutating shared
-// state. Query-time interning of names the snapshot has never seen goes
+// Evaluation state is built lazily, at most once per snapshot, on private
+// overlay stores layered over the frozen base — so evaluation interns
+// chase-derived terms without ever mutating shared state. The
+// adaptive-deepening ladder is one chained, resumable chase: rung k+1
+// extends rung k's chase (chase.Result.Extend) into a fresh overlay over
+// rung k's frozen store instead of re-chasing from the database, and its
+// grounding appends to rung k's (ground.ExtendFromChase) with local IDs
+// kept stable. Each rung's model and store are frozen before publication,
+// preserving the immutability contract for concurrent readers of earlier
+// rungs. Query-time interning of names the snapshot has never seen goes
 // into a small per-call overlay the same way.
 //
 // A Snapshot remains answerable forever: it keeps serving its epoch's
@@ -34,8 +39,8 @@ type Snapshot struct {
 	opts    core.Options // defaults resolved
 	epoch   uint64
 
-	base  snapModel   // model at the configured depth (Select, TruthOf, …)
-	rungs []snapModel // adaptive-deepening ladder (Answer)
+	base  snapModel    // model at the configured depth (Select, TruthOf, …)
+	rungs []*snapModel // adaptive-deepening ladder (Answer), chained
 
 	ranksOnce sync.Once // guards Model.PrepareExplanations on base
 	statsOnce sync.Once
@@ -44,20 +49,35 @@ type Snapshot struct {
 
 // snapModel lazily evaluates one model over a private overlay store. The
 // sync.Once makes construction race-free; after it, the model and its
-// (frozen) overlay store are read-only.
+// (frozen) overlay store are read-only. A snapModel with a prev pointer
+// is a ladder rung: it extends prev's chase into a fresh overlay over
+// prev's frozen store rather than running a private full chase.
 type snapModel struct {
 	depth int
+	prev  *snapModel // previous rung; nil for the first rung and for base
 	once  sync.Once
 	m     *core.Model
 }
 
 func (sm *snapModel) get(s *Snapshot) *core.Model {
 	sm.once.Do(func() {
-		ost := atom.NewOverlay(s.store)
-		eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
-		m := eng.EvaluateAtDepth(sm.depth)
+		var m *core.Model
+		if sm.prev != nil {
+			// Chained rung: continue the previous rung's chase on an
+			// overlay over its (frozen) store. IDs carry over, so the
+			// extended chase and grounding append to frozen state
+			// without touching it.
+			pm := sm.prev.get(s)
+			ost := atom.NewOverlay(pm.Chase.Prog.Store)
+			m = core.ExtendModel(pm, s.prog.WithStore(ost), s.opts, sm.depth)
+			ost.Freeze()
+		} else {
+			ost := atom.NewOverlay(s.store)
+			eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
+			m = eng.EvaluateAtDepth(sm.depth)
+			ost.Freeze()
+		}
 		m.Precompute()
-		ost.Freeze()
 		sm.m = m
 	})
 	return sm.m
@@ -77,8 +97,11 @@ func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
 		epoch:   epoch,
 	}
 	s.base = snapModel{depth: opts.Depth}
+	var prev *snapModel
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
-		s.rungs = append(s.rungs, snapModel{depth: d})
+		sm := &snapModel{depth: d, prev: prev}
+		s.rungs = append(s.rungs, sm)
+		prev = sm
 	}
 	return s
 }
@@ -119,13 +142,20 @@ func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error
 
 // rungAt returns (building if necessary) the ladder model at the given
 // depth. The rung schedule is derived from the same resolved options
-// AdaptiveAnswer iterates with, so every requested depth has a rung.
-func (s *Snapshot) rungAt(depth int) *core.Model {
+// AdaptiveAnswer iterates with, so every requested depth has a rung; a
+// mismatch (which would indicate option drift between the snapshot and
+// the ladder) is reported as an error through answerLadder rather than a
+// panic, so it can never crash a serving process.
+func (s *Snapshot) rungAt(depth int) (*core.Model, error) {
+	if len(s.rungs) == 0 || s.opts.AdaptiveStep <= 0 {
+		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (empty ladder)", depth)
+	}
 	i := (depth - s.opts.AdaptiveStart) / s.opts.AdaptiveStep
 	if i < 0 || i >= len(s.rungs) || s.rungs[i].depth != depth {
-		panic(fmt.Sprintf("wfs: no snapshot rung at depth %d", depth))
+		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (schedule start %d step %d × %d rungs)",
+			depth, s.opts.AdaptiveStart, s.opts.AdaptiveStep, len(s.rungs))
 	}
-	return s.rungs[i].get(s)
+	return s.rungs[i].get(s), nil
 }
 
 // Answer evaluates a prepared NBCQ by adaptive deepening and returns the
@@ -145,16 +175,19 @@ func (s *Snapshot) AnswerWithStats(q *Query) (Truth, *core.AnswerStats, error) {
 // answerCompiled runs the ladder for a query compiled at load time against
 // the system's root store (embedded '?' queries). Such queries reference
 // only pre-snapshot IDs, valid against every model.
-func (s *Snapshot) answerCompiled(cq *program.Query) Truth {
-	t, _, _ := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil })
-	return t
+func (s *Snapshot) answerCompiled(cq *program.Query) (Truth, error) {
+	t, _, err := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil })
+	return t, err
 }
 
-// AnswerAll answers every query embedded in the loaded source.
+// AnswerAll answers every query embedded in the loaded source. A ladder
+// evaluation error (an invalid schedule or rung mismatch) is carried on
+// the result rather than rendered as a silent False answer.
 func (s *Snapshot) AnswerAll() []QueryResult {
 	out := make([]QueryResult, 0, len(s.queries))
 	for _, cq := range s.queries {
-		out = append(out, QueryResult{Query: cq.Label, Answer: s.answerCompiled(cq)})
+		t, err := s.answerCompiled(cq)
+		out = append(out, QueryResult{Query: cq.Label, Answer: t, Err: err})
 	}
 	return out
 }
@@ -250,22 +283,28 @@ func (s *Snapshot) TrueFacts() []string { return s.renderFacts(ground.True) }
 // UndefinedFacts renders all undefined atoms of the model, sorted.
 func (s *Snapshot) UndefinedFacts() []string { return s.renderFacts(ground.Undefined) }
 
-// renderFacts renders every atom with the given truth value. It runs
-// entirely on the snapshot — no system lock is held — and preallocates the
-// output from a truth-value count so rendering large models does not
-// repeatedly regrow the slice.
+// renderFacts renders every atom with the given truth value that query
+// matching may use: like Answer/Select/buildIndexes, it excludes atoms
+// beyond Model.UsableDepth, whose guard-band frontier truth values are
+// unreliable (they can flip once deeper children exist) and which no
+// query answer ever observes. It runs entirely on the snapshot — no
+// system lock is held — and preallocates the output from a filtered count
+// so rendering large models does not repeatedly regrow the slice.
 func (s *Snapshot) renderFacts(tv Truth) []string {
 	m := s.base.get(s)
 	st := m.Chase.Prog.Store
+	usable := func(g atom.AtomID) bool {
+		return m.UsableDepth < 0 || m.Chase.Depth(g) <= m.UsableDepth
+	}
 	n := 0
-	for _, t := range m.GM.Truth {
-		if t == tv {
+	for i, g := range m.GP.Atoms {
+		if m.GM.Truth[i] == tv && usable(g) {
 			n++
 		}
 	}
 	out := make([]string, 0, n)
 	for i, g := range m.GP.Atoms {
-		if m.GM.Truth[i] == tv {
+		if m.GM.Truth[i] == tv && usable(g) {
 			out = append(out, st.String(g))
 		}
 	}

@@ -103,8 +103,15 @@ type System struct {
 // and optional '?' queries) with default options.
 func Load(src string) (*System, error) { return LoadWithOptions(src, Options{}) }
 
-// LoadWithOptions is Load with explicit engine options.
+// LoadWithOptions is Load with explicit engine options. Option
+// combinations that could never answer a query — an adaptive-deepening
+// schedule that is empty after defaults resolve, e.g. Options{GuardBand:
+// 30} against the default MaxDepth 24 — are rejected here (see
+// core.Options.Validate) instead of silently answering False later.
 func LoadWithOptions(src string, opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	st := atom.NewStore(term.NewStore())
 	prog, db, queries, err := program.CompileText(src, st)
 	if err != nil {
@@ -249,10 +256,13 @@ func (s *System) AnswerWithStats(query string) (Truth, *core.AnswerStats, error)
 	return s.snapshot().AnswerWithStats(q)
 }
 
-// QueryResult pairs an embedded query with its answer.
+// QueryResult pairs an embedded query with its answer. Err reports a
+// ladder evaluation failure (see core.Options.Validate); in that case
+// Answer is meaningless rather than a genuine False.
 type QueryResult struct {
 	Query  string
 	Answer Truth
+	Err    error
 }
 
 // Select returns the certain answers of a non-Boolean query as tuples of
