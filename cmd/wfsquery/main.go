@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] file.dlg
+//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] file.dlg
 //
 // The program file may embed queries ('? lit, ….'); additional queries can
-// be passed with -query (repeatable). With -model, the tool also prints
-// the true and undefined atoms of the model.
+// be passed with -query (repeatable). -retract (repeatable) removes
+// database facts after loading and before answering — all retractions
+// apply as one atomic delta. With -model, the tool also prints the true
+// and undefined atoms of the model.
 package main
 
 import (
@@ -33,8 +35,10 @@ func main() {
 		verbose   = flag.Bool("v", false, "print adaptive-deepening traces")
 		explain   = flag.String("explain", "", "print a forward proof (Def. 5) of a ground atom, e.g. -explain 't(0)'")
 		queries   queryFlags
+		retracts  queryFlags
 	)
 	flag.Var(&queries, "query", "additional NBCQ (repeatable)")
+	flag.Var(&retracts, "retract", "database fact to retract after loading, e.g. -retract 'p(a)' (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wfsquery [flags] program.dlg")
@@ -60,6 +64,20 @@ func main() {
 	sys, err := wfs.LoadWithOptions(string(src), opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if len(retracts) > 0 {
+		d := wfs.NewDelta()
+		for _, fs := range retracts {
+			pred, args, err := wfs.ParseFact(fs)
+			if err != nil {
+				fatal(err)
+			}
+			d.Retract(pred, args...)
+		}
+		if err := sys.Apply(d); err != nil {
+			fatal(err)
+		}
 	}
 
 	for _, r := range sys.AnswerAll() {

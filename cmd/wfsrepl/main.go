@@ -11,6 +11,7 @@
 //	p(X), not q(X) -> r(X).          add a rule
 //	? r(a).                          answer an NBCQ (adaptive deepening)
 //	?? r(X).                         select answer tuples over constants
+//	:retract p(a)                    retract a database fact
 //	:explain t(0)                    print a forward proof (Definition 5)
 //	:wcheck win(a)                   goal-directed membership check
 //	:model                           print true and undefined atoms
@@ -25,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
 
 	wfs "repro"
+	"repro/internal/parser"
 )
 
 const help = `statements:
@@ -35,6 +38,7 @@ const help = `statements:
   ? lit, lit, ... .                 answer an NBCQ
   ?? lit, lit, ... .                select answer tuples over constants
 commands:
+  :retract FACT   retract a database fact, e.g. :retract p(a)
   :explain ATOM   forward proof of a true ground atom
   :wcheck ATOM    goal-directed membership check
   :model          print true and undefined atoms
@@ -71,6 +75,14 @@ func main() {
 
 func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 	accumulated := base
+	// Retractions applied so far: a statement rebuilds the system from the
+	// accumulated source, which would resurrect retracted facts, so they
+	// are replayed after every rebuild.
+	type retraction struct {
+		pred string
+		args []string
+	}
+	var retracted []retraction
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "wfs> ")
@@ -108,6 +120,19 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 			fmt.Fprintf(out, "model: %d true, %d undefined, %d rounds, exact=%v\n",
 				m.GM.CountTrue(), m.GM.CountUndefined(), m.GM.Rounds, m.Exact)
 			fmt.Fprintf(out, "δ (Prop. 12) ≈ 2^%d\n", sys.DeltaBound().BitLen())
+		case strings.HasPrefix(line, ":retract "):
+			factSrc := strings.TrimSpace(strings.TrimPrefix(line, ":retract"))
+			pred, args, err := wfs.ParseFact(factSrc)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			if err := sys.RetractFact(pred, args...); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			retracted = append(retracted, retraction{pred: pred, args: args})
+			fmt.Fprintln(out, "ok")
 		case strings.HasPrefix(line, ":explain "):
 			atomSrc := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
 			tv, err := sys.TruthOf(atomSrc)
@@ -158,6 +183,45 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break
+			}
+			// A statement that re-asserts a previously retracted fact
+			// cancels the pending retraction — the user's latest word
+			// wins — instead of being silently deleted by the replay.
+			// The line is parsed as a unit so compound lines ("p(a).
+			// q(b).") cancel every fact they assert.
+			if u, perr := parser.Parse(line); perr == nil {
+				for _, rule := range u.Rules {
+					if !rule.IsFact() {
+						continue
+					}
+					for _, h := range rule.Head {
+						args := make([]string, 0, len(h.Args))
+						for _, a := range h.Args {
+							if a.IsVar {
+								args = nil
+								break
+							}
+							args = append(args, a.Name)
+						}
+						if args == nil && len(h.Args) > 0 {
+							continue
+						}
+						kept := retracted[:0]
+						for _, r := range retracted {
+							if r.pred != h.Pred || !slices.Equal(r.args, args) {
+								kept = append(kept, r)
+							}
+						}
+						retracted = kept
+					}
+				}
+			}
+			// Replay the surviving retractions: the rebuild resurrected
+			// their facts from the accumulated source.
+			for _, r := range retracted {
+				if err := ns.RetractFact(r.pred, r.args...); err != nil {
+					fmt.Fprintln(out, "warning: replaying retraction:", err)
+				}
 			}
 			accumulated = next
 			sys = ns

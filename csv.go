@@ -4,18 +4,18 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-
-	"repro/internal/atom"
-	"repro/internal/term"
 )
 
 // LoadCSV bulk-loads rows of a CSV stream as facts of the given predicate:
 // each record r1,…,rn becomes pred(r1,…,rn), with every field a constant.
 // All records must have the predicate's arity (fixed by the first record
-// if the predicate is new). Returns the number of facts added. Like
-// AddFact, a non-empty load bumps the epoch and invalidates cached
-// evaluation state — including on error, since earlier records may already
-// have been added.
+// if the predicate is new). Returns the number of records read.
+//
+// The whole stream is applied as one delta: a single epoch bump for the
+// load, with the cached evaluation state rebased onto the appended facts
+// rather than discarded. A malformed stream (CSV syntax error, ragged or
+// arity-violating record) rejects the entire load — the database is left
+// untouched, and no epoch bump happens. An empty stream is a no-op.
 func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -23,13 +23,8 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 	cr.TrimLeadingSpace = true
 	cr.FieldsPerRecord = -1 // we do our own arity check, with a better message
 	n := 0
-	defer func() {
-		if n > 0 {
-			s.invalidateLocked()
-		}
-	}()
 	arity := -1
-	var p atom.PredID
+	var specs []factSpec
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -40,19 +35,27 @@ func (s *System) LoadCSV(pred string, r io.Reader) (int, error) {
 		}
 		if arity < 0 {
 			arity = len(rec)
-			if p, err = s.store.Pred(pred, arity); err != nil {
-				return n, err
+			// Arity-check against an existing predicate up front so a
+			// schema violation names the declared arity, not the first
+			// record — but do NOT intern a new predicate yet: interning
+			// fixes its arity permanently, and a later record may still
+			// reject the whole (atomic) load. applyLocked interns after
+			// the full stream has validated.
+			if p, ok := s.store.LookupPred(pred); ok {
+				if got := s.store.PredArity(p); got != arity {
+					return n, fmt.Errorf("wfs: csv for %s: record 1 has %d fields, predicate has arity %d",
+						pred, arity, got)
+				}
 			}
 		} else if len(rec) != arity {
 			return n, fmt.Errorf("wfs: csv for %s: record %d has %d fields, want %d",
 				pred, n+1, len(rec), arity)
 		}
-		args := make([]term.ID, arity)
-		for i, f := range rec {
-			args[i] = s.store.Terms.Const(f)
-		}
-		s.db = append(s.db, s.store.Atom(p, args))
+		specs = append(specs, factSpec{pred: pred, args: rec})
 		n++
 	}
-	return n, nil
+	if n == 0 {
+		return 0, nil
+	}
+	return n, s.applyLocked(specs, nil)
 }

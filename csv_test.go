@@ -79,12 +79,18 @@ func TestLoadCSVMalformedRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A bare quote mid-field is a CSV syntax error.
+	facts, epoch := sys.FactsEpoch()
 	_, err = sys.LoadCSV("r", strings.NewReader("x, y\nbad\"field, z\n"))
 	if err == nil {
 		t.Fatalf("malformed CSV accepted")
 	}
 	if !strings.Contains(err.Error(), "csv for r") {
 		t.Errorf("error %q does not name the predicate", err)
+	}
+	// The load is one atomic delta: a failed stream applies nothing —
+	// no facts (not even the well-formed first record), no epoch bump.
+	if f2, e2 := sys.FactsEpoch(); f2 != facts || e2 != epoch {
+		t.Errorf("failed load mutated the system: facts %d→%d epoch %d→%d", facts, f2, epoch, e2)
 	}
 }
 
@@ -94,6 +100,7 @@ func TestLoadCSVArityMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	facts, epoch := sys.FactsEpoch()
 	n, err := sys.LoadCSV("t", strings.NewReader("x, y\nlonely\n"))
 	if err == nil {
 		t.Fatalf("ragged CSV accepted")
@@ -103,6 +110,9 @@ func TestLoadCSVArityMismatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "want 2") {
 		t.Errorf("error %q does not report expected arity", err)
+	}
+	if f2, e2 := sys.FactsEpoch(); f2 != facts || e2 != epoch {
+		t.Errorf("ragged load mutated the system: facts %d→%d epoch %d→%d", facts, f2, epoch, e2)
 	}
 
 	// Mismatch against the predicate's declared arity.

@@ -203,6 +203,19 @@ func LadderFamily(m, levels int) string {
 	return b.String()
 }
 
+// UpdateFamily generates the update-heavy workload: a large EDB of k
+// disjoint win-move chains of length l, against which a trickle of fact
+// additions and retractions mutates one chain at a time. Each delta's
+// dependency cone is one component (~l atoms of a k·l universe), so an
+// incremental engine — resumed chase, forest-replay retraction,
+// warm-started fixpoint — re-derives a vanishing fraction of what an
+// invalidate-and-rebuild evaluation recomputes; BenchmarkDeltaApply
+// measures exactly this against the committed BENCH_delta.json baseline.
+// Chains (rather than cycles) make every retraction flip truth values
+// along the whole mutated chain, so the delta path cannot cheat by
+// noticing that nothing changed.
+func UpdateFamily(k, l int) string { return WinMoveComponents(k, l) }
+
 // StratifiedFamily generates a stratified guarded program with negation
 // across strata over n persons (E5): stratum 0 derives employment from
 // contracts, stratum 1 derives seekers by negation, stratum 2 benefits.

@@ -86,6 +86,10 @@ type Result struct {
 	queued   []bool        // per AtomID: currently in the expansion queue
 	expanded []bool        // per AtomID: guard expansion already ran
 
+	// replay, when non-nil, switches run/derive from rule matching to
+	// re-firing a prior chase's instances (Retract's DRed-style replay).
+	replay *replayState
+
 	stats *Stats // cached summary; populated when the run finishes
 }
 
@@ -150,14 +154,32 @@ func (r *Result) Extend(prog *program.Program, newDepth int) *Result {
 	if len(r.queue) == 0 && r.ComputeStats().MaxDepth < oldDepth {
 		return r
 	}
+	nr := r.cloneForContinuation(prog, Options{MaxDepth: newDepth, MaxAtoms: r.Opts.MaxAtoms})
+	// The frontier: atoms derived at the old cap were never enqueued for
+	// guard expansion. Under the raised cap they are expandable again.
+	for _, a := range nr.Atoms {
+		if d := int(nr.depth[a]); d >= oldDepth && d < newDepth {
+			nr.enqueue(a)
+		}
+	}
+	nr.run()
+	nr.finish()
+	return nr
+}
+
+// cloneForContinuation copies r's mutable bookkeeping into a fresh Result
+// so a continuation (deeper bound, grown database) can run without
+// mutating the receiver: slices are cloned with slack capacity, the
+// parked-waiter map is deep-copied, and the stats cache is dropped.
+func (r *Result) cloneForContinuation(prog *program.Program, opts Options) *Result {
 	waiters := make(map[atom.AtomID][]waiter, len(r.waiters))
 	for a, ws := range r.waiters {
 		waiters[a] = append([]waiter(nil), ws...)
 	}
-	nr := &Result{
+	return &Result{
 		Prog:      prog,
 		DB:        r.DB,
-		Opts:      Options{MaxDepth: newDepth, MaxAtoms: r.Opts.MaxAtoms},
+		Opts:      opts,
 		Atoms:     cloneSlack(r.Atoms),
 		Instances: cloneSlack(r.Instances),
 		Truncated: r.Truncated,
@@ -170,16 +192,6 @@ func (r *Result) Extend(prog *program.Program, newDepth int) *Result {
 		queued:    cloneSlack(r.queued),
 		expanded:  cloneSlack(r.expanded),
 	}
-	// The frontier: atoms derived at the old cap were never enqueued for
-	// guard expansion. Under the raised cap they are expandable again.
-	for _, a := range nr.Atoms {
-		if d := int(nr.depth[a]); d >= oldDepth && d < newDepth {
-			nr.enqueue(a)
-		}
-	}
-	nr.run()
-	nr.finish()
-	return nr
 }
 
 // cloneSlack copies xs into a fresh slice with ~25% spare capacity, so a
@@ -259,6 +271,14 @@ func (r *Result) derive(a atom.AtomID, depth, level int32) {
 				r.tryApply(w.rule, w.guard)
 			}
 		}
+		if rep := r.replay; rep != nil {
+			if cs := rep.parked[a]; len(cs) > 0 {
+				delete(rep.parked, a)
+				for _, ci := range cs {
+					r.tryReplay(ci)
+				}
+			}
+		}
 		return
 	}
 	if depth < r.depth[a] {
@@ -301,6 +321,18 @@ func (r *Result) run() {
 			continue // defensive: each atom's guard expansion runs once
 		}
 		r.expanded[a] = true
+		if rep := r.replay; rep != nil {
+			// Replay mode: re-fire the source chase's instances guarded
+			// by a instead of matching rules against the store, walking
+			// the intrusive per-guard list in place (order within one
+			// guard is immaterial — the fired set is what matters).
+			if int(a) < len(rep.src.firstInst) {
+				for ci := rep.src.firstInst[a]; ci >= 0; ci = rep.src.nextInst[ci] {
+					r.tryReplay(ci)
+				}
+			}
+			continue
+		}
 		for _, rule := range r.Prog.RulesGuardedBy(r.Prog.Store.PredOf(a)) {
 			r.tryApply(rule, a)
 		}

@@ -1,0 +1,183 @@
+package chase
+
+// Data-dimension continuations of a finished chase: the guarded chase is
+// monotone in the database (chase(D') ⊆ chase(D) for D' ⊆ D, and every
+// rule firing over D remains a firing over D ∪ ∆), so
+//
+//   - additions (ExtendDB) resume the existing chase exactly the way
+//     Extend resumes it in depth — new EDB atoms seed fresh frontier work
+//     against the carried-over forest, waking parked waiters and
+//     cascading depth decreases, while everything already derived stays
+//     derived; and
+//   - retractions (Retract) re-derive the surviving chase DRed-style by
+//     replaying the receiver's own instance forest from the shrunken
+//     database: instances are re-fired (or not) by the ordinary
+//     derive/expand/park machinery, but against the recorded ground
+//     instances instead of matching rules against the store — no
+//     substitution matching, no interning, pure integer work. Instances
+//     that fail to re-fire are exactly the DRed overdeletion that
+//     rederivation could not rescue.
+//
+// Both operations leave the receiver untouched, like Extend, so models
+// already built over it keep serving concurrent readers.
+
+import (
+	"repro/internal/atom"
+	"repro/internal/program"
+)
+
+// ExtendDB returns a new Result that continues this chase after the
+// database grew to newDB: the atoms of added (the set-level growth, each
+// already interned in the store) are derived at depth 0 and expanded
+// against the carried-over forest, firing only the rule instances the new
+// facts enable. prog must share r's compiled rules and an ID space
+// extending r's store (see Extend). r itself is not mutated.
+//
+// An added atom may already be in the derived universe (an IDB atom now
+// asserted as a fact): its depth drops to 0 and the decrease cascades.
+// Returns nil when r is truncated — MaxAtoms exhaustion left frontier
+// atoms unexpanded, so the continuation cannot know what a from-scratch
+// chase of the grown database would derive; callers must rebuild.
+func (r *Result) ExtendDB(prog *program.Program, newDB program.Database, added []atom.AtomID) *Result {
+	if r.Truncated {
+		return nil
+	}
+	nr := r.cloneForContinuation(prog, r.Opts)
+	nr.DB = newDB
+	for _, a := range added {
+		nr.derive(a, 0, 0)
+	}
+	nr.run()
+	nr.finish()
+	return nr
+}
+
+// replayState drives Retract's re-derivation: src supplies the candidate
+// instances (indexed by guard through src's own intrusive lists), fired
+// records which candidates re-fired, and parked holds candidates waiting
+// on a not-yet-rederived side atom (the replay analogue of waiters; a
+// candidate is parked on at most one atom at a time).
+type replayState struct {
+	src    *Result
+	fired  []bool
+	parked map[atom.AtomID][]int32
+}
+
+// tryReplay re-fires candidate instance ci of the replay source if all its
+// positive side atoms are rederived, parking it on the first missing one
+// otherwise — the replay counterpart of tryApply, sharing its at-most-one-
+// pending-path invariant via the fired flags.
+func (r *Result) tryReplay(ci int32) {
+	rep := r.replay
+	if rep.fired[ci] {
+		return
+	}
+	in := &rep.src.Instances[ci]
+	g := in.Pos[0]
+	maxLevel := r.level[g]
+	for _, sa := range in.Pos[1:] {
+		r.ensure(sa)
+		if r.depth[sa] < 0 {
+			rep.parked[sa] = append(rep.parked[sa], ci)
+			return
+		}
+		if r.level[sa] > maxLevel {
+			maxLevel = r.level[sa]
+		}
+	}
+	for _, na := range in.Neg {
+		r.ensure(na)
+	}
+	r.ensure(in.Head)
+	rep.fired[ci] = true
+	ii := int32(len(r.Instances))
+	// Pos/Neg slices are shared with the (immutable) source instance.
+	r.Instances = append(r.Instances, Instance{Rule: in.Rule, Head: in.Head, Pos: in.Pos, Neg: in.Neg})
+	r.nextInst = append(r.nextInst, r.firstInst[g])
+	r.firstInst[g] = ii
+	r.derive(in.Head, r.depth[g]+1, maxLevel+1)
+}
+
+// Retract returns a new Result chasing the shrunken database newDB (a
+// subset of r.DB at the set level) by replaying r's own instances — see
+// the file comment — together with the indexes (into r.Instances) of the
+// instances that did not survive, for warm-starting the WFS fixpoint
+// downstream. Returns (nil, nil) when r is truncated, in which case the
+// instance set is incomplete and the caller must re-chase from scratch.
+//
+// Soundness: by monotonicity every instance of chase(newDB) is an
+// instance of chase(r.DB) with the identical head (Skolem terms are
+// functional in the guard binding), so replaying r's instances under the
+// ordinary depth/expansion discipline computes exactly the from-scratch
+// chase of newDB — the cross-check suite enforces this.
+func (r *Result) Retract(prog *program.Program, newDB program.Database) (*Result, []int32) {
+	if r.Truncated {
+		return nil, nil
+	}
+	// Preallocate the bookkeeping at the source's sizes: the survivors
+	// are a subset, so nothing here regrows mid-replay.
+	nr := &Result{
+		Prog:      prog,
+		DB:        newDB,
+		Opts:      r.Opts,
+		Atoms:     make([]atom.AtomID, 0, len(r.Atoms)),
+		Instances: make([]Instance, 0, len(r.Instances)),
+		depth:     make([]int32, 0, len(r.depth)),
+		level:     make([]int32, 0, len(r.level)),
+		firstInst: make([]int32, 0, len(r.firstInst)),
+		nextInst:  make([]int32, 0, len(r.nextInst)),
+		queue:     make([]atom.AtomID, 0, 64),
+		queued:    make([]bool, 0, len(r.queued)),
+		expanded:  make([]bool, 0, len(r.expanded)),
+		waiters:   make(map[atom.AtomID][]waiter),
+		replay: &replayState{
+			src:    r,
+			fired:  make([]bool, len(r.Instances)),
+			parked: make(map[atom.AtomID][]int32),
+		},
+	}
+	for _, a := range newDB {
+		nr.derive(a, 0, 0)
+	}
+	for _, rule := range prog.Rules {
+		if rule.IsFact() && len(rule.Exist) == 0 {
+			sub := atom.NewSubst(rule.NumVars)
+			nr.derive(prog.Store.Instantiate(rule.Head, sub), 0, 0)
+		}
+	}
+	nr.run()
+	rep := nr.replay
+	nr.replay = nil
+	// Carry parked work forward so later continuations (ExtendDB, Extend)
+	// can resume it:
+	//  - candidates still parked on a missing side atom become ordinary
+	//    (rule, guard) waiters — their guard re-expanded, so only a wake
+	//    can complete them;
+	//  - the source's own parked waiters survive verbatim when their guard
+	//    is still expanded (their side atom was underived in the larger
+	//    universe, hence underived here too). Waiters whose guard died or
+	//    fell to the frontier are dropped: a future re-derivation or
+	//    deepening re-expands that guard through the normal rule matching,
+	//    which re-parks or fires the pair.
+	for sa, cis := range rep.parked {
+		for _, ci := range cis {
+			in := &r.Instances[ci]
+			nr.waiters[sa] = append(nr.waiters[sa], waiter{rule: in.Rule, guard: in.Pos[0]})
+		}
+	}
+	for sa, ws := range r.waiters {
+		for _, w := range ws {
+			if nr.Derived(w.guard) && nr.expanded[w.guard] {
+				nr.waiters[sa] = append(nr.waiters[sa], w)
+			}
+		}
+	}
+	nr.finish()
+	var dead []int32
+	for ci, ok := range rep.fired {
+		if !ok {
+			dead = append(dead, int32(ci))
+		}
+	}
+	return nr, dead
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+// factAtom interns pred(args...) into st.
+func factAtom(t *testing.T, st *atom.Store, pred string, args ...string) atom.AtomID {
+	t.Helper()
+	p, err := st.Pred(pred, len(args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]term.ID, len(args))
+	for i, a := range args {
+		ts[i] = st.Terms.Const(a)
+	}
+	return st.Atom(p, ts)
+}
+
+type dbOp struct {
+	retract bool
+	pred    string
+	args    []string
+}
+
+func opAdd(pred string, args ...string) dbOp { return dbOp{pred: pred, args: args} }
+func opDel(pred string, args ...string) dbOp { return dbOp{retract: true, pred: pred, args: args} }
+
+func applyDBOp(t *testing.T, st *atom.Store, db program.Database, op dbOp) program.Database {
+	t.Helper()
+	a := factAtom(t, st, op.pred, op.args...)
+	if op.retract {
+		out := make(program.Database, 0, len(db))
+		for _, f := range db {
+			if f != a {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	return append(db[:len(db):len(db)], a)
+}
+
+// checkSameModel compares an incrementally maintained model against a
+// from-scratch one: derived universe with minimal depths, instance count,
+// three-valued truth on every global atom of either universe, and the
+// exactness/guard-band metadata.
+func checkSameModel(t *testing.T, st *atom.Store, got, want *Model) {
+	t.Helper()
+	if len(got.Chase.Atoms) != len(want.Chase.Atoms) {
+		t.Fatalf("universe: %d atoms, want %d", len(got.Chase.Atoms), len(want.Chase.Atoms))
+	}
+	for _, a := range want.Chase.Atoms {
+		if !got.Chase.Derived(a) {
+			t.Fatalf("incremental chase missing %s", st.String(a))
+		}
+		if got.Chase.Depth(a) != want.Chase.Depth(a) {
+			t.Errorf("depth(%s) = %d, want %d", st.String(a), got.Chase.Depth(a), want.Chase.Depth(a))
+		}
+	}
+	if len(got.Chase.Instances) != len(want.Chase.Instances) {
+		t.Fatalf("instances: %d, want %d", len(got.Chase.Instances), len(want.Chase.Instances))
+	}
+	for _, a := range want.Chase.Atoms {
+		if gv, wv := got.Truth(a), want.Truth(a); gv != wv {
+			t.Errorf("truth(%s) = %v, want %v", st.String(a), gv, wv)
+		}
+	}
+	for _, a := range got.Chase.Atoms {
+		if gv, wv := got.Truth(a), want.Truth(a); gv != wv {
+			t.Errorf("truth(%s) = %v, want %v", st.String(a), gv, wv)
+		}
+	}
+	if got.Exact != want.Exact || got.UsableDepth != want.UsableDepth {
+		t.Errorf("exact/usable = %v/%d, want %v/%d",
+			got.Exact, got.UsableDepth, want.Exact, want.UsableDepth)
+	}
+}
+
+// deltaScripts are the satellite-mandated workloads: add-only,
+// retract-only, and mixed mutation sequences over programs exercising
+// negation, existentials, and undefined truth values.
+var deltaScripts = []struct {
+	name string
+	src  string
+	ops  []dbOp
+}{
+	{
+		name: "add-only",
+		src: `
+move(a,b). move(b,c).
+move(X,Y), not win(Y) -> win(X).
+`,
+		ops: []dbOp{
+			opAdd("move", "c", "d"),
+			opAdd("move", "d", "a"), // closes a cycle: undefined region appears
+			opAdd("move", "e", "e"), // disjoint self-loop
+			opAdd("win", "q"),       // IDB predicate as a direct fact
+		},
+	},
+	{
+		name: "retract-only",
+		src: `
+move(a,b). move(b,c). move(c,d). move(d,a). move(x,y).
+move(X,Y), not win(Y) -> win(X).
+`,
+		ops: []dbOp{
+			opDel("move", "d", "a"), // breaks the cycle: undefined collapses
+			opDel("move", "x", "y"),
+			opDel("move", "a", "b"),
+		},
+	},
+	{
+		name: "mixed-existential",
+		src: `
+r(0,0,1).
+p(0,0).
+r(X,Y,Z) -> r(X,Z,W).
+r(X,Y,Z), p(X,Y), not q(Z) -> p(X,Z).
+r(X,Y,Z), not p(X,Y) -> q(Z).
+r(X,Y,Z), not p(X,Z) -> s(X).
+p(X,Y), not s(X) -> t(X).
+`,
+		ops: []dbOp{
+			opAdd("p", "0", "1"),
+			opDel("p", "0", "0"),
+			opAdd("r", "1", "0", "0"),
+			opDel("r", "0", "0", "1"),
+			opAdd("p", "0", "0"),
+		},
+	},
+}
+
+// TestApplyDeltaMatchesFromScratch is the tentpole cross-check: after
+// every scripted mutation, the delta-maintained engine must be
+// indistinguishable — universe, depths, instance count, three-valued
+// model, exactness — from an engine built from scratch on the mutated
+// database, at every rung of the adaptive ladder, under all four WFS
+// algorithms.
+func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	depths := []int{4, 6, 8}
+	for _, script := range deltaScripts {
+		for _, alg := range []Algorithm{AltFixpoint, UnfoundedSets, ForwardProofs, Remainder} {
+			t.Run(script.name+"/"+alg.String(), func(t *testing.T) {
+				prog, db, _, st := compile(t, script.src)
+				inc := NewEngine(prog, db, Options{Algorithm: alg})
+				for _, d := range depths {
+					inc.EvaluateAtDepth(d) // warm every rung before mutating
+				}
+				for i, op := range script.ops {
+					db = applyDBOp(t, st, db, op)
+					inc.ApplyDelta(db)
+					for _, d := range depths {
+						got := inc.EvaluateAtDepth(d)
+						want := NewEngine(prog, db, Options{Algorithm: alg}).EvaluateAtDepth(d)
+						t.Logf("op %d depth %d", i, d)
+						checkSameModel(t, st, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRebaseModelNoChangeReturnsReceiver: a rebase over an unchanged
+// database (at the set level) must share the previous model outright.
+func TestRebaseModelNoChangeReturnsReceiver(t *testing.T) {
+	prog, db, _, _ := compile(t, example4)
+	e := NewEngine(prog, db, Options{})
+	m := e.EvaluateAtDepth(6)
+	// Same set, different multiset: duplicate the first fact.
+	db2 := append(db[:len(db):len(db)], db[0])
+	if got := RebaseModel(m, prog, e.Opts, 6, db2); got != m {
+		t.Error("multiplicity-only rebase rebuilt the model")
+	}
+}
+
+// TestRebaseModelTruncatedFallsBack: a truncated chase cannot be rebased
+// incrementally; the rebase must still produce a correct cold model.
+func TestRebaseModelTruncatedFallsBack(t *testing.T) {
+	prog, db, _, st := compile(t, "seed(c).\nseed(X) -> next(X).")
+	opts := Options{MaxAtoms: 2}
+	e := NewEngine(prog, db, opts)
+	m := e.EvaluateAtDepth(4)
+	if !m.Chase.ComputeStats().Truncated {
+		t.Fatal("expected truncation")
+	}
+	db2 := append(db[:len(db):len(db)], factAtom(t, st, "seed", "d"))
+	got := RebaseModel(m, prog, e.Opts, 4, db2)
+	want := NewEngine(prog, db2, opts).EvaluateAtDepth(4)
+	if len(got.Chase.Atoms) != len(want.Chase.Atoms) {
+		t.Errorf("fallback universe %d atoms, want %d", len(got.Chase.Atoms), len(want.Chase.Atoms))
+	}
+}
+
+// TestApplyDeltaThenDeepen: after a delta, a depth the engine never
+// evaluated extends the rebased chase rather than re-chasing.
+func TestApplyDeltaThenDeepen(t *testing.T) {
+	prog, db, _, st := compile(t, example4)
+	e := NewEngine(prog, db, Options{})
+	e.EvaluateAtDepth(4)
+	db2 := applyDBOp(t, st, db, opAdd("p", "0", "1"))
+	e.ApplyDelta(db2)
+	e.EvaluateAtDepth(4) // rebases the staged depth-4 model
+	got := e.EvaluateAtDepth(7)
+	want := NewEngine(prog, db2, Options{}).EvaluateAtDepth(7)
+	checkSameModel(t, st, got, want)
+}

@@ -18,9 +18,11 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/atom"
 	"repro/internal/chase"
+	"repro/internal/delta"
 	"repro/internal/ground"
 	"repro/internal/program"
 )
@@ -151,6 +153,11 @@ type Engine struct {
 	cached *Model         // model at Opts.Depth
 	models map[int]*Model // depth → model, for ladder reuse
 
+	// prevModels holds the per-depth models evaluated before the last
+	// ApplyDelta: a request for one of these depths rebases the old model
+	// onto the current database (RebaseModel) instead of evaluating cold.
+	prevModels map[int]*Model
+
 	// Deepest chase and grounding computed so far; deeper evaluations
 	// resume from these.
 	res *chase.Result
@@ -179,8 +186,9 @@ type Model struct {
 	truePerPred map[atom.PredID][]atom.AtomID // lazy index for joins
 	posPerPred  map[atom.PredID][]atom.AtomID // true ∪ undefined
 
-	ranks   []int32 // lazy: derivation ranks for Explain
-	support []int32 // lazy: supporting instance per true atom
+	ranksOnce sync.Once // guards PrepareExplanations (models may be shared across snapshots)
+	ranks     []int32   // lazy: derivation ranks for Explain
+	support   []int32   // lazy: supporting instance per true atom
 }
 
 // Evaluate computes (and caches) the model at the configured depth.
@@ -201,6 +209,17 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 		e.models = make(map[int]*Model)
 	}
 	if m, ok := e.models[depth]; ok {
+		return m
+	}
+	if pm, ok := e.prevModels[depth]; ok {
+		// A model from before the last ApplyDelta: rebase it onto the
+		// current database instead of re-evaluating from scratch.
+		delete(e.prevModels, depth)
+		m := RebaseModel(pm, e.Prog, e.Opts, depth, e.DB)
+		if e.res == nil || depth >= e.res.Opts.MaxDepth {
+			e.res, e.gp = m.Chase, m.GP
+		}
+		e.models[depth] = m
 		return m
 	}
 	var res *chase.Result
@@ -227,6 +246,27 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 	return m
 }
 
+// ApplyDelta rebases the engine onto a mutated database. Nothing is
+// re-evaluated eagerly: every cached model is staged for rebasing, and
+// the next EvaluateAtDepth at a staged depth carries the old model across
+// the (set-level) database change via RebaseModel — resumed chase for
+// additions, forest replay for retractions, warm-started fixpoint — so
+// the adaptive ladder after a small delta costs a fraction of a rebuild.
+// newDB must be the complete database after the mutation, with every atom
+// interned in the engine's store.
+func (e *Engine) ApplyDelta(newDB program.Database) {
+	e.DB = newDB
+	if e.prevModels == nil {
+		e.prevModels = make(map[int]*Model)
+	}
+	for d, m := range e.models {
+		e.prevModels[d] = m // staged models from older epochs are superseded
+	}
+	e.models = make(map[int]*Model)
+	e.cached = nil
+	e.res, e.gp = nil, nil
+}
+
 // ExtendModel continues a previously evaluated model's chase to a deeper
 // depth and evaluates the model there: the resumable-chase counterpart of
 // EvaluateAtDepth for layers that manage models themselves (the snapshot
@@ -245,20 +285,77 @@ func ExtendModel(prev *Model, prog *program.Program, opts Options, depth int) *M
 	return modelFrom(opts, res, gp, depth)
 }
 
+// RebaseModel carries a previously evaluated model onto a mutated
+// database: the data-dimension counterpart of ExtendModel. The set-level
+// change is computed from prev's own chase database, so any number of
+// intermediate mutations collapse into one rebase. Retractions replay
+// the derivation forest DRed-style, additions extend the chase against
+// it, and the WFS fixpoint is warm-started — only the dependency cone of
+// the change is re-solved (ground.IncrementalModel). prev is not
+// mutated; when the database did not change at the set level, prev
+// itself is returned.
+//
+// prog must share prev's compiled rules and an ID space extending its
+// chase's store, and newDB (with every atom interned there) must be the
+// full database after the mutation. A state that cannot be rebased (a
+// truncated chase, or a depth mismatch from an off-ladder caller) falls
+// back to cold evaluation at the requested depth.
+func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, newDB program.Database) *Model {
+	opts = opts.withDefaults()
+	added, removed := delta.Diff(prev.Chase.DB, newDB)
+	if len(added) == 0 && len(removed) == 0 {
+		return prev
+	}
+	// prev's chase may be bounded below depth: a ladder rung past
+	// saturation shares the shallower saturated chase (Extend returns its
+	// receiver). Rebase at the chase's own bound, then deepen — the delta
+	// may have unsaturated it.
+	if prevCap := prev.Chase.Opts.MaxDepth; prevCap <= depth {
+		if reb, ok := delta.Rebase(prev.Chase, prev.GP, prog, newDB, added, removed); ok {
+			gm := ground.IncrementalModel(reb.GP, prev.GM, reb.Seeds, solverFor(opts))
+			res, gp := reb.Chase, reb.GP
+			if ext := res.Extend(prog, depth); ext != res {
+				firstNew := len(res.Instances)
+				res = ext
+				gp = ground.ExtendFromChase(gp, res)
+				seeds := make([]atom.AtomID, 0, len(res.Instances)-firstNew)
+				for i := firstNew; i < len(res.Instances); i++ {
+					seeds = append(seeds, res.Instances[i].Head)
+				}
+				gm = ground.IncrementalModel(gp, gm, seeds, solverFor(opts))
+			}
+			return wrapModel(opts, res, gp, gm, depth)
+		}
+	}
+	res := chase.Run(prog, newDB, chase.Options{MaxDepth: depth, MaxAtoms: opts.MaxAtoms})
+	return modelFrom(opts, res, ground.FromChase(res), depth)
+}
+
+// solverFor returns the WFS fixpoint algorithm the options select, as a
+// function over ground programs (also handed to the warm-started
+// incremental evaluation, which applies it to the affected subprogram).
+func solverFor(opts Options) func(*ground.Program) *ground.Model {
+	switch opts.Algorithm {
+	case UnfoundedSets:
+		return ground.UnfoundedIteration
+	case ForwardProofs:
+		return ground.ForwardProofIteration
+	case Remainder:
+		return ground.Remainder
+	default:
+		return ground.AlternatingFixpoint
+	}
+}
+
 // modelFrom runs the configured WFS fixpoint algorithm over a grounded
 // chase and wraps the result with its exactness and guard-band metadata.
 func modelFrom(opts Options, res *chase.Result, gp *ground.Program, depth int) *Model {
-	var gm *ground.Model
-	switch opts.Algorithm {
-	case UnfoundedSets:
-		gm = ground.UnfoundedIteration(gp)
-	case ForwardProofs:
-		gm = ground.ForwardProofIteration(gp)
-	case Remainder:
-		gm = ground.Remainder(gp)
-	default:
-		gm = ground.AlternatingFixpoint(gp)
-	}
+	return wrapModel(opts, res, gp, solverFor(opts)(gp), depth)
+}
+
+// wrapModel attaches exactness and guard-band metadata to an evaluated
+// ground model.
+func wrapModel(opts Options, res *chase.Result, gp *ground.Program, gm *ground.Model, depth int) *Model {
 	stats := res.ComputeStats()
 	m := &Model{
 		Chase: res,

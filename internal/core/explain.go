@@ -33,10 +33,13 @@ type ForwardProof struct {
 }
 
 // PrepareExplanations materializes the lazily-computed proof ranks, after
-// which Explain performs no writes to the model. Concurrent readers must
-// arrange that this runs once-before-use (the snapshot layer wraps it in a
-// sync.Once).
-func (m *Model) PrepareExplanations() { m.proofRanks() }
+// which Explain performs no writes to the model. It is guarded by a
+// per-model sync.Once, so any number of goroutines — including readers of
+// different snapshots sharing one rebased model — may call it before
+// Explain without coordination.
+func (m *Model) PrepareExplanations() {
+	m.ranksOnce.Do(func() { m.proofRanks() })
+}
 
 // Explain constructs a forward proof of a true atom from the model,
 // choosing for every atom a supporting instance whose positive body was

@@ -1,0 +1,135 @@
+// Package delta is the incremental-update subsystem: it carries a
+// finished chase, its grounding, and (through the seeds it reports) the
+// WFS model across a database mutation without re-running rule matching
+// or full fixpoint evaluation.
+//
+// The pipeline for one applied delta is
+//
+//	diff ──▶ retract (DRed replay over the forest)
+//	     ──▶ extend  (data-dimension chase continuation)
+//	     ──▶ reground (suffix append, or rebuild after a retraction)
+//	     ──▶ seeds   (atoms whose ground rule set changed)
+//
+// with the warm-started WFS fixpoint (ground.IncrementalModel) consuming
+// the seeds downstream. Everything here is set-level: the database is a
+// multiset at the API layer, but the chase — and therefore everything
+// the delta subsystem maintains — only sees which atoms are present.
+package delta
+
+import (
+	"repro/internal/atom"
+	"repro/internal/chase"
+	"repro/internal/ground"
+	"repro/internal/program"
+)
+
+// Diff computes the set-level difference between two database instances:
+// atoms present in newDB but not oldDB (added) and present in oldDB but
+// not newDB (removed). Duplicate entries within either database are
+// ignored — a fact that merely changed multiplicity is no chase-level
+// change at all.
+func Diff(oldDB, newDB program.Database) (added, removed []atom.AtomID) {
+	oldSet := make(map[atom.AtomID]struct{}, len(oldDB))
+	for _, a := range oldDB {
+		oldSet[a] = struct{}{}
+	}
+	newSet := make(map[atom.AtomID]struct{}, len(newDB))
+	for _, a := range newDB {
+		newSet[a] = struct{}{}
+	}
+	for a := range newSet {
+		if _, ok := oldSet[a]; !ok {
+			added = append(added, a)
+		}
+	}
+	for a := range oldSet {
+		if _, ok := newSet[a]; !ok {
+			removed = append(removed, a)
+		}
+	}
+	return added, removed
+}
+
+// Result is a rebased evaluation state: the chase and grounding of the
+// mutated database, plus the warm-start seeds — every global atom whose
+// ground rule set changed (retracted facts, heads of instances that died
+// in the retraction, added facts, and heads of instances the additions
+// fired). ground.IncrementalModel re-solves exactly the dependency cone
+// of these seeds.
+type Result struct {
+	Chase *chase.Result
+	GP    *ground.Program
+	Seeds []atom.AtomID
+}
+
+// Rebase carries (res, gp) — a finished chase of res.DB and its grounding
+// — onto the mutated database newDB, whose set-level change from res.DB
+// is (added, removed), both already interned in res's store (or an
+// overlay extending it; prog must be bound to that store). Retractions
+// replay the derivation forest (chase.Result.Retract), additions extend
+// it (chase.Result.ExtendDB), and the grounding is appended in place for
+// pure additions or rebuilt over the surviving chase after a retraction.
+//
+// ok is false when the state cannot be rebased — a truncated chase, whose
+// instance set is incomplete — and the caller must re-evaluate from
+// scratch.
+func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
+	newDB program.Database, added, removed []atom.AtomID) (Result, bool) {
+	if res.Truncated {
+		return Result{}, false
+	}
+	seeds := make([]atom.AtomID, 0, len(added)+len(removed))
+	cur, curGP := res, gp
+	if len(removed) > 0 {
+		mid := newDB
+		if len(added) > 0 {
+			// Intermediate database: the old one minus the removals.
+			rm := make(map[atom.AtomID]struct{}, len(removed))
+			for _, a := range removed {
+				rm[a] = struct{}{}
+			}
+			mid = make(program.Database, 0, len(res.DB))
+			for _, a := range res.DB {
+				if _, dead := rm[a]; !dead {
+					mid = append(mid, a)
+				}
+			}
+		}
+		next, dead := cur.Retract(prog, mid)
+		if next == nil {
+			return Result{}, false
+		}
+		for _, ci := range dead {
+			seeds = append(seeds, cur.Instances[ci].Head)
+		}
+		seeds = append(seeds, removed...)
+		cur, curGP = next, nil // instance order changed: reground below
+	}
+	var rederived []atom.AtomID // added atoms the chase had already derived through rules
+	if len(added) > 0 {
+		for _, a := range added {
+			if cur.Depth(a) > 0 {
+				rederived = append(rederived, a)
+			}
+		}
+		firstNew := len(cur.Instances)
+		next := cur.ExtendDB(prog, newDB, added)
+		if next == nil {
+			return Result{}, false
+		}
+		for i := firstNew; i < len(next.Instances); i++ {
+			seeds = append(seeds, next.Instances[i].Head)
+		}
+		seeds = append(seeds, added...)
+		cur = next
+	}
+	if curGP != nil {
+		// Pure addition: the grounding extends by the appended suffix;
+		// IDB atoms re-asserted as facts sit before the cursor and need
+		// their fact rules injected explicitly.
+		curGP = ground.ExtendFromChase(curGP, cur).AppendFacts(rederived)
+	} else {
+		curGP = ground.FromChase(cur)
+	}
+	return Result{Chase: cur, GP: curGP, Seeds: seeds}, true
+}

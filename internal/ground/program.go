@@ -72,6 +72,7 @@ type Program struct {
 	localIdx    []int32
 	rulesByHead [][]int32
 	posOcc      [][]int32 // per atom: rules with a positive occurrence (with multiplicity)
+	negOcc      [][]int32 // per atom: rules with a negative occurrence (with multiplicity)
 
 	// chaseAtoms/chaseInsts record how much of the originating chase
 	// Result this program consumed, so ExtendFromChase can reground only
@@ -95,15 +96,56 @@ func New(n int, rules []Rule) *Program {
 }
 
 func (p *Program) index(n int) {
-	p.rulesByHead = make([][]int32, n)
-	p.posOcc = make([][]int32, n)
+	// Count first, then carve the per-atom sublists out of one flat
+	// backing array each: building these indexes is the hot path of
+	// (re)grounding — a delta retraction rebuilds them wholesale — and
+	// per-atom append-grown slices spend more time in the allocator than
+	// in indexing.
+	headCnt := make([]int32, n)
+	posCnt := make([]int32, n)
+	negCnt := make([]int32, n)
+	nPos, nNeg := 0, 0
+	for ri := range p.Rules {
+		r := &p.Rules[ri]
+		headCnt[r.Head]++
+		for _, b := range r.Pos {
+			posCnt[b]++
+		}
+		nPos += len(r.Pos)
+		for _, b := range r.Neg {
+			negCnt[b]++
+		}
+		nNeg += len(r.Neg)
+	}
+	p.rulesByHead = flatIndex(headCnt, len(p.Rules))
+	p.posOcc = flatIndex(posCnt, nPos)
+	p.negOcc = flatIndex(negCnt, nNeg)
 	for ri := range p.Rules {
 		r := &p.Rules[ri]
 		p.rulesByHead[r.Head] = append(p.rulesByHead[r.Head], int32(ri))
 		for _, b := range r.Pos {
 			p.posOcc[b] = append(p.posOcc[b], int32(ri))
 		}
+		for _, b := range r.Neg {
+			p.negOcc[b] = append(p.negOcc[b], int32(ri))
+		}
 	}
+}
+
+// flatIndex returns per-atom sublists sharing one exactly-sized backing
+// array: each sublist has length 0 and capacity counts[a], so the fill
+// loop's appends land in the arena without allocating, and the filled
+// sublists end at len == cap — a later copy-on-append extension
+// (extendIndex) can never scribble on a neighbour.
+func flatIndex(counts []int32, total int) [][]int32 {
+	arena := make([]int32, total)
+	out := make([][]int32, len(counts))
+	off := 0
+	for a, c := range counts {
+		out[a] = arena[off:off : off+int(c)]
+		off += int(c)
+	}
+	return out
 }
 
 // FromChase converts a bounded chase result into a finite ground normal
@@ -151,6 +193,40 @@ func ExtendFromChase(prev *Program, res *chase.Result) *Program {
 	return p
 }
 
+// AppendFacts returns a program extending p with one fact rule per listed
+// global atom, leaving p untouched (shared index slices are copied on
+// append, as in ExtendFromChase). The delta layer uses it when a database
+// addition re-asserts an atom the chase had already derived through rules:
+// the atom sits before ExtendFromChase's regrounding cursor, so the
+// suffix-only regrounding cannot see its new depth-0 status.
+func (p *Program) AppendFacts(facts []atom.AtomID) *Program {
+	if len(facts) == 0 {
+		return p
+	}
+	np := &Program{
+		Atoms:      cloneSlack(p.Atoms, len(facts)),
+		Rules:      cloneSlack(p.Rules, len(facts)),
+		localIdx:   append([]int32(nil), p.localIdx...),
+		chaseAtoms: p.chaseAtoms,
+		chaseInsts: p.chaseInsts,
+	}
+	firstNew := len(np.Rules)
+	for _, g := range facts {
+		for int(g) >= len(np.localIdx) {
+			np.localIdx = append(np.localIdx, -1)
+		}
+		i := np.localIdx[g]
+		if i < 0 {
+			i = int32(len(np.Atoms))
+			np.localIdx[g] = i
+			np.Atoms = append(np.Atoms, g)
+		}
+		np.Rules = append(np.Rules, Rule{Head: i})
+	}
+	np.extendIndex(p, firstNew)
+	return np
+}
+
 // cloneSlack copies xs into a fresh slice with spare capacity for the
 // expected number of appends, so extension never re-copies the prefix.
 func cloneSlack[T any](xs []T, slack int) []T {
@@ -181,6 +257,29 @@ func (p *Program) ingest(res *chase.Result) {
 		p.Atoms = append(p.Atoms, a)
 		return i
 	}
+	// Size everything up front: one backing array per body polarity and
+	// exactly-grown Atoms/Rules, instead of per-rule allocations — the
+	// wholesale reground after a retraction runs through here.
+	facts, nPos, nNeg := 0, 0, 0
+	for _, a := range res.Atoms[p.chaseAtoms:] {
+		if res.Depth(a) == 0 {
+			facts++
+		}
+	}
+	for i := p.chaseInsts; i < len(res.Instances); i++ {
+		in := &res.Instances[i]
+		nPos += len(in.Pos)
+		nNeg += len(in.Neg)
+	}
+	newInsts := len(res.Instances) - p.chaseInsts
+	if want := len(res.Atoms) - p.chaseAtoms; cap(p.Atoms)-len(p.Atoms) < want {
+		p.Atoms = cloneSlack(p.Atoms, want)
+	}
+	if want := facts + newInsts; cap(p.Rules)-len(p.Rules) < want {
+		p.Rules = cloneSlack(p.Rules, want)
+	}
+	posArena := make([]int32, 0, nPos)
+	negArena := make([]int32, 0, nNeg)
 	for _, a := range res.Atoms[p.chaseAtoms:] {
 		if res.Depth(a) == 0 {
 			p.Rules = append(p.Rules, Rule{Head: idx(a)})
@@ -189,12 +288,16 @@ func (p *Program) ingest(res *chase.Result) {
 	for i := p.chaseInsts; i < len(res.Instances); i++ {
 		in := &res.Instances[i]
 		r := Rule{Head: idx(in.Head)}
+		mark := len(posArena)
 		for _, b := range in.Pos {
-			r.Pos = append(r.Pos, idx(b))
+			posArena = append(posArena, idx(b))
 		}
+		r.Pos = posArena[mark:len(posArena):len(posArena)]
+		mark = len(negArena)
 		for _, b := range in.Neg {
-			r.Neg = append(r.Neg, idx(b))
+			negArena = append(negArena, idx(b))
 		}
+		r.Neg = negArena[mark:len(negArena):len(negArena)]
 		p.Rules = append(p.Rules, r)
 	}
 	p.chaseAtoms = len(res.Atoms)
@@ -211,8 +314,11 @@ func (p *Program) extendIndex(prev *Program, firstNewRule int) {
 	copy(p.rulesByHead, prev.rulesByHead)
 	p.posOcc = make([][]int32, n)
 	copy(p.posOcc, prev.posOcc)
+	p.negOcc = make([][]int32, n)
+	copy(p.negOcc, prev.negOcc)
 	ownedHead := make([]bool, n)
 	ownedPos := make([]bool, n)
+	ownedNeg := make([]bool, n)
 	for ri := firstNewRule; ri < len(p.Rules); ri++ {
 		r := &p.Rules[ri]
 		if !ownedHead[r.Head] {
@@ -226,6 +332,13 @@ func (p *Program) extendIndex(prev *Program, firstNewRule int) {
 				ownedPos[b] = true
 			}
 			p.posOcc[b] = append(p.posOcc[b], int32(ri))
+		}
+		for _, b := range r.Neg {
+			if !ownedNeg[b] {
+				p.negOcc[b] = append([]int32(nil), p.negOcc[b]...)
+				ownedNeg[b] = true
+			}
+			p.negOcc[b] = append(p.negOcc[b], int32(ri))
 		}
 	}
 }

@@ -13,7 +13,8 @@
 //	POST   /v1/sessions                    create session {name, program, options?}
 //	GET    /v1/sessions/{name}             session info
 //	DELETE /v1/sessions/{name}             delete session
-//	POST   /v1/sessions/{name}/facts      add facts {facts: [{pred, args}]}
+//	POST   /v1/sessions/{name}/facts      add facts {facts: [{pred, args}]} (atomic batch)
+//	POST   /v1/sessions/{name}/retract    retract facts {facts: [{pred, args}]} (atomic batch)
 //	POST   /v1/sessions/{name}/query      NBCQ answer {query}
 //	POST   /v1/sessions/{name}/select     non-Boolean select {query}
 //	POST   /v1/sessions/{name}/truth      ground-atom truth {atom}
@@ -97,7 +98,9 @@ type Fact struct {
 	Args []string `json:"args"`
 }
 
-// AddFactsRequest asserts facts into a session.
+// AddFactsRequest asserts (facts endpoint) or retracts (retract
+// endpoint) a batch of facts in a session. Either way the batch applies
+// as one atomic delta: all-or-nothing validation, one epoch bump.
 type AddFactsRequest struct {
 	Facts []Fact `json:"facts"`
 }
@@ -107,6 +110,13 @@ type AddFactsResponse struct {
 	Added int    `json:"added"`
 	Facts int    `json:"facts"`
 	Epoch uint64 `json:"epoch"`
+}
+
+// RetractResponse reports the post-retraction database state.
+type RetractResponse struct {
+	Retracted int    `json:"retracted"`
+	Facts     int    `json:"facts"`
+	Epoch     uint64 `json:"epoch"`
 }
 
 // QueryRequest answers an NBCQ (query) or evaluates a ground atom (atom),

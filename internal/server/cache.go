@@ -29,7 +29,12 @@ type Cache struct {
 
 type cacheEntry struct {
 	key string
-	val any
+	// session and epoch duplicate the key's first two components in
+	// parsed form, so the scan-shaped operations (PruneStale,
+	// DeleteSession) compare integers instead of parsing every key.
+	session uint64
+	epoch   uint64
+	val     any
 }
 
 // NewCache returns an LRU cache bounded to capacity entries.
@@ -78,9 +83,10 @@ func (c *Cache) Get(key string) (any, bool) {
 	return nil, false
 }
 
-// Put inserts or refreshes key, evicting the least recently used entry
-// when over capacity.
-func (c *Cache) Put(key string, val any) {
+// Put inserts or refreshes key — which must have been built by answerKey
+// from the given session ID and epoch — evicting the least recently used
+// entry when over capacity.
+func (c *Cache) Put(key string, sessionID, epoch uint64, val any) {
 	if c.cap == 0 {
 		return
 	}
@@ -91,7 +97,7 @@ func (c *Cache) Put(key string, val any) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, session: sessionID, epoch: epoch, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -99,15 +105,39 @@ func (c *Cache) Put(key string, val any) {
 	}
 }
 
-// DeleteSession drops every entry belonging to the session with the
-// given ID, returning how many were removed.
-func (c *Cache) DeleteSession(sessionID uint64) int {
-	prefix := strconv.FormatUint(sessionID, 10) + keySep
+// PruneStale drops every entry belonging to the session whose epoch
+// component is below currentEpoch, returning how many were removed. A
+// mutation bumps the session's epoch, so its older-epoch entries can
+// never be hit again (lookups build keys at the current epoch); without
+// pruning they would squat in the LRU until capacity pressure ages them
+// out, displacing live entries of other sessions. The mutation handlers
+// call this after every applied delta.
+// The scan is bounded by the cache capacity and compares the parsed
+// session/epoch fields carried on each entry — no key parsing.
+func (c *Cache) PruneStale(sessionID, currentEpoch uint64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for key, el := range c.items {
-		if strings.HasPrefix(key, prefix) {
+		e := el.Value.(*cacheEntry)
+		if e.session != sessionID || e.epoch >= currentEpoch {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, key)
+		n++
+	}
+	return n
+}
+
+// DeleteSession drops every entry belonging to the session with the
+// given ID, returning how many were removed.
+func (c *Cache) DeleteSession(sessionID uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if el.Value.(*cacheEntry).session == sessionID {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			n++

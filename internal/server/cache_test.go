@@ -8,13 +8,13 @@ import (
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", 1)
-	c.Put("b", 2)
+	c.Put("a", 0, 0, 1)
+	c.Put("b", 0, 0, 2)
 	if v, ok := c.Get("a"); !ok || v != 1 {
 		t.Fatalf("Get(a) = %v, %v", v, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.Put("c", 3)
+	c.Put("c", 0, 0, 3)
 	if _, ok := c.Get("b"); ok {
 		t.Errorf("b survived eviction")
 	}
@@ -35,8 +35,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCachePutRefreshes(t *testing.T) {
 	c := NewCache(2)
-	c.Put("k", "old")
-	c.Put("k", "new")
+	c.Put("k", 0, 0, "old")
+	c.Put("k", 0, 0, "new")
 	if v, _ := c.Get("k"); v != "new" {
 		t.Errorf("Get(k) = %v, want new", v)
 	}
@@ -47,7 +47,7 @@ func TestCachePutRefreshes(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
-	c.Put("k", 1)
+	c.Put("k", 0, 0, 1)
 	if _, ok := c.Get("k"); ok {
 		t.Errorf("disabled cache stored an entry")
 	}
@@ -55,12 +55,12 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestCacheDeleteSession(t *testing.T) {
 	c := NewCache(16)
-	c.Put(answerKey(11, 1, "answer", "? p(a)."), 1)
-	c.Put(answerKey(11, 2, "select", "? p(X)."), 2)
-	c.Put(answerKey(2, 1, "answer", "? p(a)."), 3)
+	c.Put(answerKey(11, 1, "answer", "? p(a)."), 11, 1, 1)
+	c.Put(answerKey(11, 2, "select", "? p(X)."), 11, 2, 2)
+	c.Put(answerKey(2, 1, "answer", "? p(a)."), 2, 1, 3)
 	// A session whose rendered ID prefixes another (1 vs 11) must not
 	// purge its neighbor.
-	c.Put(answerKey(1, 1, "answer", "? p(a)."), 4)
+	c.Put(answerKey(1, 1, "answer", "? p(a)."), 1, 1, 4)
 	if n := c.DeleteSession(11); n != 2 {
 		t.Errorf("DeleteSession(11) = %d, want 2", n)
 	}
@@ -101,7 +101,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", i%32)
-				c.Put(key, i)
+				c.Put(key, uint64(g), 1, i)
 				c.Get(key)
 				if i%50 == 0 {
 					c.DeleteSession(uint64(g)) // prefix churn
@@ -111,4 +111,33 @@ func TestCacheConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestCachePruneStale(t *testing.T) {
+	c := NewCache(16)
+	// Session 1 entries at epochs 0 and 1; session 2 entry at epoch 0.
+	c.Put(answerKey(1, 0, "answer", "? p(a)."), 1, 0, "v0")
+	c.Put(answerKey(1, 0, "select", "? p(X)."), 1, 0, "v1")
+	c.Put(answerKey(1, 1, "answer", "? p(a)."), 1, 1, "v2")
+	c.Put(answerKey(2, 0, "answer", "? q(a)."), 2, 0, "v3")
+
+	if n := c.PruneStale(1, 1); n != 2 {
+		t.Errorf("PruneStale removed %d entries, want 2", n)
+	}
+	if _, ok := c.Get(answerKey(1, 0, "answer", "? p(a).")); ok {
+		t.Error("stale epoch-0 entry survived")
+	}
+	if _, ok := c.Get(answerKey(1, 1, "answer", "? p(a).")); !ok {
+		t.Error("current-epoch entry pruned")
+	}
+	if _, ok := c.Get(answerKey(2, 0, "answer", "? q(a).")); !ok {
+		t.Error("other session's entry pruned")
+	}
+	// Idempotent and bounded to the session.
+	if n := c.PruneStale(1, 1); n != 0 {
+		t.Errorf("second prune removed %d entries, want 0", n)
+	}
+	if n := c.PruneStale(99, 100); n != 0 {
+		t.Errorf("unknown session prune removed %d entries, want 0", n)
+	}
 }

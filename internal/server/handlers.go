@@ -90,39 +90,67 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
+// mutationFacts validates the shared request shape of the facts/retract
+// endpoints: a non-empty list of facts, each with a predicate.
+func (s *Server) mutationFacts(w http.ResponseWriter, r *http.Request) (*Session, []Fact, bool) {
 	sess := s.session(w, r)
 	if sess == nil {
-		return
+		return nil, nil, false
 	}
 	var req AddFactsRequest
 	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, nil, false
 	}
 	if len(req.Facts) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no facts given"))
-		return
+		return nil, nil, false
 	}
 	for _, f := range req.Facts {
 		if f.Pred == "" {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("fact with empty predicate"))
-			return
+			return nil, nil, false
 		}
 	}
-	added := 0
-	for _, f := range req.Facts {
-		if err := sess.Sys.AddFact(f.Pred, f.Args...); err != nil {
-			// Earlier facts of the batch are already in; the epoch bump
-			// has invalidated cached answers, so report honestly.
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("fact %d (%s/%d): %w (added %d of %d)", added, f.Pred, len(f.Args), err, added, len(req.Facts)))
-			return
-		}
-		added++
+	return sess, req.Facts, true
+}
+
+func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
+	sess, facts, ok := s.mutationFacts(w, r)
+	if !ok {
+		return
 	}
-	facts, epoch := sess.Sys.FactsEpoch()
-	writeJSON(w, http.StatusOK, AddFactsResponse{Added: added, Facts: facts, Epoch: epoch})
+	d := wfs.NewDelta()
+	for _, f := range facts {
+		d.Add(f.Pred, f.Args...)
+	}
+	// One delta: all-or-nothing validation, one epoch bump, and the
+	// session's evaluation state rebased instead of discarded.
+	if err := sess.Sys.Apply(d); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+		return
+	}
+	nFacts, epoch := sess.Sys.FactsEpoch()
+	s.cache.PruneStale(sess.ID(), epoch)
+	writeJSON(w, http.StatusOK, AddFactsResponse{Added: len(facts), Facts: nFacts, Epoch: epoch})
+}
+
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
+	sess, facts, ok := s.mutationFacts(w, r)
+	if !ok {
+		return
+	}
+	d := wfs.NewDelta()
+	for _, f := range facts {
+		d.Retract(f.Pred, f.Args...)
+	}
+	if err := sess.Sys.Apply(d); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+		return
+	}
+	nFacts, epoch := sess.Sys.FactsEpoch()
+	s.cache.PruneStale(sess.ID(), epoch)
+	writeJSON(w, http.StatusOK, RetractResponse{Retracted: len(facts), Facts: nFacts, Epoch: epoch})
 }
 
 // cachedQuery wraps the fetch-normalize-lookup-compute-store cycle shared
@@ -145,13 +173,17 @@ func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs
 	if err != nil {
 		return nil, false, err
 	}
-	// Cache only if the session is still the registered one: a concurrent
-	// DELETE purges the cache by session ID, and a Put landing after that
-	// purge would squat unreachably in the LRU until it ages out. The
-	// re-check shrinks that window from the whole evaluation to the
-	// instants before Put; the LRU bound handles the residue.
+	// Cache only if the session is still the registered one — a concurrent
+	// DELETE purges the cache by session ID — and still at the snapshot's
+	// epoch: a concurrent mutation prunes the session's stale-epoch
+	// entries (PruneStale), and a Put landing after either purge would
+	// squat unreachably in the LRU until it ages out. The re-checks
+	// shrink that window from the whole evaluation to the instants before
+	// Put; the LRU bound handles the residue.
 	if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
-		s.cache.Put(key, v)
+		if _, epoch := sess.Sys.FactsEpoch(); epoch == snap.Epoch() {
+			s.cache.Put(key, sess.ID(), snap.Epoch(), v)
+		}
 	}
 	return v, false, nil
 }

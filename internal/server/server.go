@@ -101,6 +101,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeleteSession)
 	mux.HandleFunc("POST /v1/sessions/{name}/facts", s.handleAddFacts)
+	mux.HandleFunc("POST /v1/sessions/{name}/retract", s.handleRetract)
 	mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/sessions/{name}/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/sessions/{name}/truth", s.handleTruth)

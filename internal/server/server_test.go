@@ -434,3 +434,106 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz: code %d body %v", code, out)
 	}
 }
+
+// TestAddFactsAtomicBatch: a batch with one invalid fact applies nothing
+// — database size and epoch are unchanged, and cached answers stay valid.
+func TestAddFactsAtomicBatch(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", "move(a,b). move(b,a). move(b,c).\nmove(X,Y), not win(Y) -> win(X).")
+	var before SessionInfo
+	c.do("GET", "/v1/sessions/s", nil, &before)
+
+	if code := c.do("POST", "/v1/sessions/s/facts", AddFactsRequest{Facts: []Fact{
+		{Pred: "move", Args: []string{"c", "d"}},
+		{Pred: "move", Args: []string{"wrong-arity"}},
+	}}, nil); code != 400 {
+		t.Fatalf("invalid batch: status %d, want 400", code)
+	}
+	var after SessionInfo
+	c.do("GET", "/v1/sessions/s", nil, &after)
+	if after.Facts != before.Facts || after.Epoch != before.Epoch {
+		t.Errorf("failed batch mutated session: before %+v after %+v", before, after)
+	}
+	// win(c) must still be false: move(c,d) did not land.
+	var q QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "win(c)"}, &q)
+	if q.Answer != "false" {
+		t.Errorf("win(c) = %s, want false after rejected batch", q.Answer)
+	}
+}
+
+// TestRetractEndpoint drives the retraction round-trip over HTTP,
+// including the all-or-nothing failure mode.
+func TestRetractEndpoint(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", "move(a,b). move(b,a). move(b,c).\nmove(X,Y), not win(Y) -> win(X).")
+
+	var q QueryResponse
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "win(b)"}, &q)
+	if q.Answer != "true" {
+		t.Fatalf("win(b) = %s, want true", q.Answer)
+	}
+
+	var rr RetractResponse
+	if code := c.do("POST", "/v1/sessions/s/retract", AddFactsRequest{Facts: []Fact{
+		{Pred: "move", Args: []string{"b", "c"}},
+	}}, &rr); code != 200 {
+		t.Fatalf("retract: status %d", code)
+	}
+	if rr.Retracted != 1 || rr.Facts != 2 || rr.Epoch == 0 {
+		t.Errorf("retract response: %+v", rr)
+	}
+	c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: "win(b)"}, &q)
+	if q.Answer != "undefined" {
+		t.Errorf("win(b) after retraction = %s, want undefined (a↔b draw)", q.Answer)
+	}
+
+	// Retracting a non-database fact rejects the whole batch.
+	if code := c.do("POST", "/v1/sessions/s/retract", AddFactsRequest{Facts: []Fact{
+		{Pred: "move", Args: []string{"a", "b"}},
+		{Pred: "move", Args: []string{"z", "z"}},
+	}}, nil); code != 400 {
+		t.Fatalf("invalid retract batch: status %d, want 400", code)
+	}
+	var info SessionInfo
+	c.do("GET", "/v1/sessions/s", nil, &info)
+	if info.Facts != 2 {
+		t.Errorf("facts = %d, want 2 (failed retract must not apply)", info.Facts)
+	}
+	// Empty and unknown-session requests.
+	if code := c.do("POST", "/v1/sessions/s/retract", AddFactsRequest{}, nil); code != 400 {
+		t.Errorf("empty retract: status %d, want 400", code)
+	}
+	if code := c.do("POST", "/v1/sessions/nope/retract", AddFactsRequest{Facts: []Fact{
+		{Pred: "p", Args: []string{"a"}},
+	}}, nil); code != 404 {
+		t.Errorf("unknown session retract: status %d, want 404", code)
+	}
+}
+
+// TestMutationPrunesStaleCacheEntries: a mutation evicts the session's
+// now-unreachable old-epoch answers instead of leaving them to rot until
+// LRU eviction.
+func TestMutationPrunesStaleCacheEntries(t *testing.T) {
+	c := newTestClient(t, Config{})
+	c.mustCreate("s", "p(a).\np(X) -> q(X).")
+	// Populate the cache at epoch 0.
+	for _, query := range []string{"q(a)", "p(a)", "q(zz)"} {
+		c.do("POST", "/v1/sessions/s/query", QueryRequest{Query: query}, nil)
+	}
+	var ss ServerStatsResponse
+	c.do("GET", "/v1/stats", nil, &ss)
+	if ss.Cache.Entries != 3 {
+		t.Fatalf("cache entries = %d, want 3", ss.Cache.Entries)
+	}
+	// A mutation bumps the epoch: every epoch-0 entry must be pruned.
+	if code := c.do("POST", "/v1/sessions/s/facts", AddFactsRequest{Facts: []Fact{
+		{Pred: "p", Args: []string{"b"}},
+	}}, nil); code != 200 {
+		t.Fatalf("add fact failed")
+	}
+	c.do("GET", "/v1/stats", nil, &ss)
+	if ss.Cache.Entries != 0 {
+		t.Errorf("cache entries after mutation = %d, want 0 (stale epochs pruned)", ss.Cache.Entries)
+	}
+}

@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/atom"
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/program"
+	"repro/internal/term"
 )
+
+// maxSnapshotChain bounds how many consecutive epochs may rebase their
+// snapshots onto the previous one. Each rebased epoch adds one overlay
+// store layer per materialized rung, and ID resolution walks the layer
+// chain, so unbounded chaining would slowly tax every read; past the
+// budget the next snapshot rebuilds fresh, compacting the chain.
+const maxSnapshotChain = 8
 
 // Snapshot is an immutable, fully evaluable view of a System at one
 // mutation epoch: a frozen term/atom store, the compiled program, and the
@@ -42,7 +51,17 @@ type Snapshot struct {
 	base  snapModel    // model at the configured depth (Select, TruthOf, …)
 	rungs []*snapModel // adaptive-deepening ladder (Answer), chained
 
-	ranksOnce sync.Once // guards Model.PrepareExplanations on base
+	// Delta-rebase bookkeeping (see newSnapshot): chain counts the
+	// epochs since the last fresh build, and the safe*Len fields bound
+	// the ID-space prefix shared with every store chain any rung of this
+	// snapshot might evaluate on — the oldest rebase ancestor's base
+	// store. Compiled queries referencing only IDs below these bounds
+	// are valid against every model of the snapshot.
+	chain       int
+	safeAtomLen int
+	safeTermLen int
+	safePredLen int
+
 	statsOnce sync.Once
 	stats     Stats
 }
@@ -51,16 +70,35 @@ type Snapshot struct {
 // sync.Once makes construction race-free; after it, the model and its
 // (frozen) overlay store are read-only. A snapModel with a prev pointer
 // is a ladder rung: it extends prev's chase into a fresh overlay over
-// prev's frozen store rather than running a private full chase.
+// prev's frozen store rather than running a private full chase. A
+// snapModel with a reb pointer can instead rebase the same-depth rung of
+// the previous epoch's snapshot onto the applied delta — preferred when
+// that rung was actually materialized, since it reuses all of its work.
 type snapModel struct {
 	depth int
-	prev  *snapModel // previous rung; nil for the first rung and for base
-	once  sync.Once
-	m     *core.Model
+	prev  *snapModel // previous rung of this snapshot; nil for the first rung and for base
+	// reb links the same-depth rung of the previous epoch's snapshot
+	// (nil when fresh). It is cleared once this rung materializes — its
+	// own model is then the better rebase source for later epochs, and
+	// holding the link would keep up to maxSnapshotChain epochs of
+	// evaluation state reachable. Atomic because later epochs' rebase
+	// walks read it concurrently with the clear.
+	reb  atomic.Pointer[snapModel]
+	once sync.Once
+	done atomic.Bool // set after once completes; read by later epochs' rebase walks
+	m    *core.Model
 }
 
 func (sm *snapModel) get(s *Snapshot) *core.Model {
 	sm.once.Do(func() {
+		defer func() {
+			sm.reb.Store(nil) // release the previous-epoch chain
+			sm.done.Store(true)
+		}()
+		if m := sm.rebase(s); m != nil {
+			sm.m = m
+			return
+		}
 		var m *core.Model
 		if sm.prev != nil {
 			// Chained rung: continue the previous rung's chase on an
@@ -83,10 +121,87 @@ func (sm *snapModel) get(s *Snapshot) *core.Model {
 	return sm.m
 }
 
+// rebase carries the nearest already-materialized same-depth rung of an
+// earlier epoch across the accumulated database delta: the snapshot's
+// database is translated into that rung's ID space (a fresh overlay over
+// its frozen store) and core.RebaseModel diffs it against the rung's own
+// chase database, so any number of intermediate epochs collapse into one
+// rebase. Rungs that were never materialized are skipped — rebasing must
+// never force old evaluation work that nobody asked for. (A skipped rung
+// that materializes mid-walk may have just cleared its own reb link; the
+// walk then simply ends and get falls back to a fresh build.) Returns
+// nil when no rebase source exists, leaving get on its fresh-build
+// paths.
+func (sm *snapModel) rebase(s *Snapshot) *core.Model {
+	for r := sm.reb.Load(); r != nil; r = r.reb.Load() {
+		if !r.done.Load() || r.m == nil || sm.depth != r.depth {
+			continue
+		}
+		pm := r.m
+		base := pm.Chase.Prog.Store
+		if !base.Frozen() {
+			return nil
+		}
+		ost := atom.NewOverlay(base)
+		db, ok := s.translateDB(ost)
+		if !ok {
+			return nil
+		}
+		m := core.RebaseModel(pm, s.prog.WithStore(ost), s.opts, sm.depth, db)
+		ost.Freeze()
+		m.Precompute()
+		return m
+	}
+	return nil
+}
+
+// translateDB maps the snapshot's database — interned in the current
+// master-clone store — into the ID space of an older rung's store chain.
+// Both chains share the master store's history up to the oldest rebase
+// ancestor, so atoms below the safe prefix carry over verbatim; newer
+// atoms (facts added since that ancestor's epoch) re-intern by name into
+// the target overlay. Bails (false) on a database fact with non-constant
+// arguments, which the rebase path cannot translate.
+func (s *Snapshot) translateDB(to *atom.Store) (program.Database, bool) {
+	out := make(program.Database, len(s.db))
+	for i, a := range s.db {
+		if int(a) < s.safeAtomLen {
+			out[i] = a
+			continue
+		}
+		args := s.store.Args(a)
+		ts := make([]term.ID, len(args))
+		for j, tid := range args {
+			if int(tid) < s.safeTermLen {
+				ts[j] = tid
+				continue
+			}
+			if s.store.Terms.Kind(tid) != term.Const {
+				return nil, false
+			}
+			ts[j] = to.Terms.Const(s.store.Terms.Name(tid))
+		}
+		p := s.store.PredOf(a)
+		if int(p) >= s.safePredLen {
+			var err error
+			if p, err = to.Pred(s.store.PredName(p), len(args)); err != nil {
+				return nil, false
+			}
+		}
+		out[i] = to.Atom(p, ts)
+	}
+	return out, true
+}
+
 // newSnapshot builds a snapshot from an already-frozen store clone and a
-// clipped database slice. Callers (System.Snapshot) hold the system lock.
+// clipped database slice. When prevSnap is non-nil (the last published
+// snapshot, staged across a mutation), every rung links to its same-depth
+// predecessor so evaluation can rebase the predecessor's materialized
+// work onto the delta instead of rebuilding; the safe ID-space bounds are
+// inherited, since a rebased rung may serve from any ancestor's chain.
+// Callers (System.Snapshot) hold the system lock.
 func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
-	queries []*program.Query, opts core.Options, epoch uint64) *Snapshot {
+	queries []*program.Query, opts core.Options, epoch uint64, prevSnap *Snapshot) *Snapshot {
 	opts = opts.WithDefaults()
 	s := &Snapshot{
 		store:   store,
@@ -96,12 +211,30 @@ func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
 		opts:    opts,
 		epoch:   epoch,
 	}
+	if prevSnap != nil {
+		s.chain = prevSnap.chain + 1
+		s.safeAtomLen = prevSnap.safeAtomLen
+		s.safeTermLen = prevSnap.safeTermLen
+		s.safePredLen = prevSnap.safePredLen
+	} else {
+		s.safeAtomLen = store.Len()
+		s.safeTermLen = store.Terms.Len()
+		s.safePredLen = store.NumPreds()
+	}
 	s.base = snapModel{depth: opts.Depth}
+	if prevSnap != nil {
+		s.base.reb.Store(&prevSnap.base)
+	}
 	var prev *snapModel
+	i := 0
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
 		sm := &snapModel{depth: d, prev: prev}
+		if prevSnap != nil && i < len(prevSnap.rungs) && prevSnap.rungs[i].depth == d {
+			sm.reb.Store(prevSnap.rungs[i])
+		}
 		s.rungs = append(s.rungs, sm)
 		prev = sm
+		i++
 	}
 	return s
 }
@@ -114,9 +247,11 @@ func (s *Snapshot) NumFacts() int { return len(s.db) }
 
 // compileFor compiles a prepared query against the ID space of model m,
 // interning unknown names into a per-call overlay over m's store. When
-// compilation interns nothing new, the result references only base-store
-// IDs and is cached in the Query for lock-free reuse across all models of
-// this snapshot.
+// compilation interns nothing new AND references only IDs below the
+// snapshot's safe shared prefix, the result is valid against every model
+// of this snapshot — including delta-rebased rungs living on earlier
+// epochs' store chains, where IDs above the prefix mean different things
+// — and is cached in the Query for lock-free reuse.
 func (s *Snapshot) compileFor(q *Query, m *core.Model) (*program.Query, error) {
 	if c := q.compiled.Load(); c != nil && c.store == s.store {
 		return c.cq, nil
@@ -126,10 +261,29 @@ func (s *Snapshot) compileFor(q *Query, m *core.Model) (*program.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ost.Pristine() {
+	if ost.Pristine() && queryWithin(cq, s.safePredLen, s.safeTermLen) {
 		q.compiled.Store(&compiledQuery{store: s.store, cq: cq})
 	}
 	return cq, nil
+}
+
+// queryWithin reports whether every predicate and constant the compiled
+// query references lies below the given ID bounds.
+func queryWithin(cq *program.Query, maxPred, maxTerm int) bool {
+	within := func(ps []atom.Pattern) bool {
+		for _, p := range ps {
+			if int(p.Pred) >= maxPred {
+				return false
+			}
+			for _, a := range p.Args {
+				if !a.IsVar() && int(a.Const) >= maxTerm {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return within(cq.Pos) && within(cq.Neg)
 }
 
 // answerLadder runs core.AdaptiveAnswer over the snapshot's cached rungs:
@@ -252,7 +406,7 @@ func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	s.ranksOnce.Do(m.PrepareExplanations)
+	m.PrepareExplanations() // idempotent: guarded by a per-model Once
 	proof, ok := m.Explain(a)
 	if !ok {
 		return "", false, nil

@@ -35,13 +35,21 @@
 // shared state; query-time interning of unseen constants goes into small
 // per-call overlays the same way.
 //
-// Writes (AddFact, LoadCSV) take the system lock, bump the epoch, and
-// invalidate the current snapshot; the next reader rebuilds it. A write
-// therefore contends only with snapshot construction (an O(store) clone),
-// never with in-flight readers, which keep answering against their — now
-// stale, still internally consistent — snapshot. The System's string
-// convenience methods (Answer, Select, TruthOf, …) are implemented as
-// "grab current snapshot, run read" and remain safe for concurrent use.
+// Writes are deltas. Apply commits a batch of fact additions and
+// retractions atomically — all-or-nothing validation, one epoch bump —
+// and AddFact, RetractFact, and LoadCSV are single-delta wrappers over
+// the same path. A write takes the system lock, bumps the epoch, and
+// unpublishes the current snapshot; the next reader rebuilds it by
+// REBASING the previous snapshot's already-evaluated state onto the
+// delta (resumed chase for additions, derivation-forest replay for
+// retractions, warm-started WFS fixpoint over the change's dependency
+// cone — see DESIGN.md "Incremental updates") instead of re-evaluating
+// from scratch. A write therefore contends only with snapshot
+// construction (an O(store) clone), never with in-flight readers, which
+// keep answering against their — now stale, still internally consistent
+// — snapshot. The System's string convenience methods (Answer, Select,
+// TruthOf, …) are implemented as "grab current snapshot, run read" and
+// remain safe for concurrent use.
 //
 // The Engine and Model accessors hand out live internal state bound to the
 // system's own mutable store and are intended for single-goroutine use
@@ -97,6 +105,11 @@ type System struct {
 	epoch  uint64
 	engine *core.Engine
 	snap   atomic.Pointer[Snapshot]
+
+	// prevSnap stages the last published snapshot across a mutation so
+	// the next Snapshot call can rebase its evaluated rungs onto the
+	// delta (see newSnapshot) instead of rebuilding them from scratch.
+	prevSnap *Snapshot
 }
 
 // Load parses and compiles a source unit (facts, rules, constraints, EGDs,
@@ -139,7 +152,16 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	// Clip the database so the snapshot's view can never observe a
 	// subsequent append, then share the clipped slice.
 	s.db = s.db[:len(s.db):len(s.db)]
-	snap := newSnapshot(store, s.prog, s.db, s.queries, s.opts, s.epoch)
+	// Rebase onto the previous snapshot's evaluated rungs when one is
+	// staged, bounded by the overlay-chain budget: each rebased epoch
+	// layers one more overlay store per rung, so after maxSnapshotChain
+	// generations the next snapshot rebuilds fresh and compacts.
+	prev := s.prevSnap
+	if prev != nil && prev.chain+1 > maxSnapshotChain {
+		prev = nil
+	}
+	snap := newSnapshot(store, s.prog, s.db, s.queries, s.opts, s.epoch, prev)
+	s.prevSnap = nil
 	s.snap.Store(snap)
 	return snap, nil
 }
@@ -174,28 +196,23 @@ func (s *System) FactsEpoch() (facts int, epoch uint64) {
 func (s *System) NumQueries() int { return len(s.queries) }
 
 // AddFact adds the ground fact pred(args...) to the database, creating the
-// predicate if needed, bumps the epoch, and invalidates the current
-// snapshot and cached evaluation state.
+// predicate if needed, as a single-entry delta: one epoch bump, cached
+// evaluation state rebased rather than discarded. For batches, build a
+// Delta and use Apply.
 func (s *System) AddFact(pred string, args ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, err := s.store.Pred(pred, len(args))
-	if err != nil {
-		return err
-	}
-	ts := make([]term.ID, len(args))
-	for i, a := range args {
-		ts[i] = s.store.Terms.Const(a)
-	}
-	s.db = append(s.db, s.store.Atom(p, ts))
-	s.invalidateLocked()
-	return nil
+	return s.applyLocked([]factSpec{{pred: pred, args: args}}, nil)
 }
 
-// invalidateLocked drops the published snapshot and cached evaluation
-// state after a database mutation. Callers must hold mu.
+// invalidateLocked unpublishes the current snapshot after a database
+// mutation, staging it for delta rebasing by the next Snapshot call, and
+// bumps the epoch. The legacy engine is not dropped — applyLocked rebases
+// it. Callers must hold mu.
 func (s *System) invalidateLocked() {
-	s.engine = nil
+	if snap := s.snap.Load(); snap != nil {
+		s.prevSnap = snap
+	}
 	s.snap.Store(nil)
 	s.epoch++
 }
