@@ -2,6 +2,7 @@ package wfs
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -204,6 +205,94 @@ func TestRenderDuringWrites(t *testing.T) {
 	snap, _ := sys.Snapshot()
 	if got := len(snap.TrueFacts()); got < 25 {
 		t.Errorf("final model has %d true facts, want ≥ 25", got)
+	}
+}
+
+// TestParallelSolveUnderConcurrentReaders pins the modular solver's
+// worker pool under -race while snapshots are being built, read, and
+// invalidated concurrently: a many-component win-move program with
+// Parallelism 4 makes every evaluation fan components out across solver
+// goroutines, writers interleave mutations (so rebased snapshots exercise
+// the incremental path's condensation closure too), and readers hold
+// both stale and fresh snapshots.
+func TestParallelSolveUnderConcurrentReaders(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("move(X,Y), not win(Y) -> win(X).\n")
+	for c := 0; c < 12; c++ {
+		for i := 0; i < 6; i++ {
+			fmt.Fprintf(&b, "move(p%d_%d, p%d_%d).\n", c, i, c, i+1)
+		}
+	}
+	// A few genuine negation cycles so hard components solve in parallel
+	// with cheap ones.
+	for c := 0; c < 3; c++ {
+		fmt.Fprintf(&b, "move(c%d_a, c%d_b).\nmove(c%d_b, c%d_a).\n", c, c, c, c)
+	}
+	sys, err := LoadWithOptions(b.String(), Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Prepare("win(p0_1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stale.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stale.Stats(); st.Model.SCCs == 0 || st.Model.HardSCCs != 3 {
+		t.Fatalf("model stats missing SCC shape: %+v", st.Model)
+	}
+
+	const writers, readers, iters = 2, 6, 15
+	var wg sync.WaitGroup
+	// Each reader iteration can report up to two errors (stale and fresh
+	// mismatch); size for the worst case so a broad regression fails
+	// loudly instead of deadlocking senders.
+	errs := make(chan error, (writers+2*readers)*iters)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Fresh leaf edges only: win(p0_1) keeps its truth value.
+				if err := sys.AddFact("move", fmt.Sprintf("w%d_%d", w, i), "p0_6"); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if tv, err := stale.Answer(q); err != nil {
+					errs <- err
+				} else if tv != want {
+					errs <- fmt.Errorf("stale answer flipped: %v -> %v", want, tv)
+				}
+				snap, err := sys.Snapshot()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if tv, err := snap.Answer(q); err != nil {
+					errs <- err
+				} else if tv != want {
+					errs <- fmt.Errorf("win(p0_1) = %v in epoch %d, want %v", tv, snap.Epoch(), want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

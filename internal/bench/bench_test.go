@@ -3,10 +3,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/atom"
+	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/program"
@@ -263,6 +265,124 @@ func TestDeltaApplyBenchWorkloadIsSound(t *testing.T) {
 			t.Errorf("truth(%s) = %v, want %v", st.String(g), gv, wv)
 		}
 	}
+}
+
+// TestModularEquivOnFamilies is the workload half of the modular
+// cross-check suite (the random-program half lives in internal/ground):
+// on the ground program of every benchmark family, the modular SCC-wise
+// solve must agree truth-for-truth with each of the four global WFS
+// algorithms, sequentially and with a worker pool.
+func TestModularEquivOnFamilies(t *testing.T) {
+	families := map[string]string{
+		"Example4":          Example4,
+		"WinMoveChain":      WinMoveChain(24),
+		"WinMoveCycle":      WinMoveCycle(12),
+		"WinMoveRandom":     WinMoveRandom(30, 60, 7),
+		"WinMoveComponents": WinMoveComponents(6, 5),
+		"ReachChain":        ReachChain(16),
+		"UpdateFamily":      UpdateFamily(8, 10),
+		"ExpChase":          ExpChase(5),
+		"PermFamily":        PermFamily(4),
+		"StratifiedFamily":  StratifiedFamily(30),
+		"LadderFamily":      LadderFamily(4, 12),
+	}
+	if src, err := EmploymentFamily(9).ToDatalog(); err == nil {
+		families["EmploymentFamily"] = src
+	} else {
+		t.Fatalf("employment ontology: %v", err)
+	}
+	algos := map[string]func(*ground.Program) *ground.Model{
+		"alternating-fixpoint": ground.AlternatingFixpoint,
+		"unfounded-sets":       ground.UnfoundedIteration,
+		"forward-proofs":       ground.ForwardProofIteration,
+		"remainder":            ground.Remainder,
+	}
+	for name, src := range families {
+		prog, db, _ := compileMust(src)
+		res := chase.Run(prog, db, chase.Options{MaxDepth: core.DefaultDepth, MaxAtoms: 4_000_000})
+		gp := ground.FromChase(res)
+		for an, algo := range algos {
+			want := algo(gp)
+			for _, par := range []int{1, 4} {
+				got := ground.SolveModular(gp, algo, par)
+				if !got.Equal(want) {
+					t.Errorf("%s/%s par=%d: modular solve diverges from global", name, an, par)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkModularSolve — the modular solver's headline number, measured
+// on the ground program alone (no chase, no grounding: exactly the solve
+// the engine dispatches per model).
+//
+//   - UpdateFamily(160, 50) is the worst case for a global fixpoint: 160
+//     independent win-move chains, so every global round sweeps ~16k
+//     rules to make progress on components that each need ~100 rounds.
+//     Its ground dependency graph is acyclic (chains, not cycles), so
+//     the modular solve finishes each component in a single definite
+//     pass — "global/update" vs "modular/update" is the acceptance
+//     comparison (criterion: ≥ 2×; BENCH_modular.json holds the
+//     committed baseline), and "modular-seq/update" isolates the
+//     decomposition win from the worker pool.
+//   - WinMoveCycle(3000) is the worst case for the modular solver: one
+//     negation cycle spans every win atom, so decomposition buys nothing
+//     and the subprogram extraction is pure overhead (criterion:
+//     "modular-seq/cycle" within 10% of "global/cycle").
+//   - "condense/update" prices the Tarjan condensation itself (cached on
+//     the Program in production, rebuilt fresh here).
+func BenchmarkModularSolve(b *testing.B) {
+	ground16k := func() *ground.Program {
+		prog, db, _ := compileMust(UpdateFamily(160, 50))
+		return ground.FromChase(chase.Run(prog, db, chase.Options{MaxDepth: core.DefaultDepth, MaxAtoms: 4_000_000}))
+	}
+	gpU := ground16k()
+	progC, dbC, _ := compileMust(WinMoveCycle(3000))
+	gpC := ground.FromChase(chase.Run(progC, dbC, chase.Options{MaxDepth: core.DefaultDepth, MaxAtoms: 4_000_000}))
+
+	b.Run("global/update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.AlternatingFixpoint(gpU) == nil {
+				b.Fatal("no model")
+			}
+		}
+	})
+	b.Run("modular/update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.SolveModular(gpU, ground.AlternatingFixpoint, runtime.GOMAXPROCS(0)) == nil {
+				b.Fatal("no model")
+			}
+		}
+	})
+	b.Run("modular-seq/update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.SolveModular(gpU, ground.AlternatingFixpoint, 1) == nil {
+				b.Fatal("no model")
+			}
+		}
+	})
+	b.Run("condense/update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.Condense(gpU) == nil {
+				b.Fatal("no condensation")
+			}
+		}
+	})
+	b.Run("global/cycle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.AlternatingFixpoint(gpC) == nil {
+				b.Fatal("no model")
+			}
+		}
+	})
+	b.Run("modular-seq/cycle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ground.SolveModular(gpC, ground.AlternatingFixpoint, 1) == nil {
+				b.Fatal("no model")
+			}
+		}
+	})
 }
 
 func TestUnknownExperiment(t *testing.T) {

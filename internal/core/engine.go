@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/atom"
@@ -69,6 +70,15 @@ type Options struct {
 	// Algorithm selects the WFS fixpoint algorithm.
 	Algorithm Algorithm
 
+	// Parallelism bounds the worker pool of the modular (SCC-wise)
+	// solver: independent dependency components on one topological level
+	// are solved concurrently by up to this many goroutines. 0 (the
+	// default) selects GOMAXPROCS; 1 solves strictly sequentially.
+	// Values beyond the solver's hard cap (256) are clamped — the field
+	// is reachable from untrusted session options, and worker scratch is
+	// sized by it.
+	Parallelism int
+
 	// Adaptive deepening (used by Answer): start depth, additive step,
 	// number of consecutive agreeing depths required, and the depth
 	// ceiling. Zero values select 4 / 2 / 2 / 24.
@@ -118,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAtoms <= 0 {
 		o.MaxAtoms = 4_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism > 256 {
+		o.Parallelism = 256 // mirror ground.SolveModular's hard cap
 	}
 	if o.GuardBand <= 0 {
 		o.GuardBand = 2
@@ -331,11 +347,23 @@ func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, ne
 	return modelFrom(opts, res, ground.FromChase(res), depth)
 }
 
-// solverFor returns the WFS fixpoint algorithm the options select, as a
-// function over ground programs (also handed to the warm-started
-// incremental evaluation, which applies it to the affected subprogram).
+// solverFor returns the solve path the options select, as a function
+// over ground programs (also handed to the warm-started incremental
+// evaluation, which applies it to the affected subprogram): the modular
+// SCC-wise evaluation, with the configured fixpoint algorithm run inside
+// each negation-cyclic component and up to opts.Parallelism independent
+// components solved concurrently.
 func solverFor(opts Options) func(*ground.Program) *ground.Model {
-	switch opts.Algorithm {
+	algo := algorithmFor(opts.Algorithm)
+	par := opts.Parallelism
+	return func(p *ground.Program) *ground.Model {
+		return ground.SolveModular(p, algo, par)
+	}
+}
+
+// algorithmFor maps the option to the raw global WFS fixpoint algorithm.
+func algorithmFor(a Algorithm) func(*ground.Program) *ground.Model {
+	switch a {
 	case UnfoundedSets:
 		return ground.UnfoundedIteration
 	case ForwardProofs:
@@ -443,6 +471,17 @@ type ModelStats struct {
 	TrueAtoms      int // atoms true in the model
 	UndefinedAtoms int // atoms undefined in the model
 	FalseAtoms     int // derived atoms that are false
+
+	// Modular-evaluation shape, populated by both the from-scratch
+	// modular solve and the incremental warm-start (which reports the
+	// full program's condensation): dependency-graph SCC count, the
+	// largest component's size, how many components had a negation cycle
+	// and needed the full WFS fixpoint, and the peak worker goroutines
+	// the solve used.
+	SCCs         int
+	LargestSCC   int
+	HardSCCs     int
+	SolveWorkers int
 }
 
 // Stats computes the model's summary statistics.
@@ -456,6 +495,10 @@ func (m *Model) Stats() ModelStats {
 		UsableDepth:     m.UsableDepth,
 		ChaseAtoms:      cs.Atoms,
 		ChaseInstances:  cs.Instances,
+		SCCs:            m.GM.SCCs,
+		LargestSCC:      m.GM.LargestSCC,
+		HardSCCs:        m.GM.HardSCCs,
+		SolveWorkers:    m.GM.Workers,
 	}
 	for _, t := range m.GM.Truth {
 		switch t {

@@ -20,6 +20,16 @@
 // merge is the exact well-founded model of the new program; the delta
 // cross-check suite verifies this against from-scratch evaluation under
 // all four algorithms.
+//
+// The forward closure runs on the dependency-graph condensation
+// (Program.Condensation) rather than atom-by-atom: seeds mark their
+// components, marks propagate along the condensation's dependent edges,
+// and the affected set is the union of the marked components' atoms.
+// The two closures are the same set — an SCC is mutually reachable, so
+// forward-reachability from a seed reaches either all of a component or
+// none of it — but the component-level walk traverses each dependency
+// edge once instead of once per atom occurrence, and the condensation is
+// shared with the modular solver that evaluates the subprogram.
 package ground
 
 import "repro/internal/atom"
@@ -42,38 +52,54 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 		return solve(gp)
 	}
 	n := gp.NumAtoms()
-	affected := make([]bool, n)
+	cond := gp.closureCondensation()
+	affComp := make([]bool, cond.NumComps())
 	var stack []int32
-	mark := func(i int32) {
-		if !affected[i] {
-			affected[i] = true
-			stack = append(stack, i)
+	nAff := 0
+	mark := func(ci int32) {
+		if !affComp[ci] {
+			affComp[ci] = true
+			nAff += cond.CompSize(ci)
+			stack = append(stack, ci)
 		}
 	}
 	for _, g := range seeds {
 		if i := gp.Local(g); i >= 0 {
-			mark(i)
+			mark(cond.Comp[i])
 		}
 	}
-	nAff := 0
 	for len(stack) > 0 {
-		b := stack[len(stack)-1]
+		ci := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		nAff++
-		for _, ri := range gp.posOcc[b] {
-			mark(gp.Rules[ri].Head)
-		}
-		for _, ri := range gp.negOcc[b] {
-			mark(gp.Rules[ri].Head)
+		for _, d := range cond.DependentsOf(ci) {
+			mark(d)
 		}
 	}
+	affected := func(i int32) bool { return affComp[cond.Comp[i]] }
 	prevTruth := func(i int32) Truth { return prev.TruthOfGlobal(gp.Atoms[i]) }
+	// Merged models report the full program's condensation shape, so the
+	// observability stats survive delta applies (the steady-state path of
+	// a mutating session) instead of zeroing after the first mutation.
+	wrap := func(out []Truth, rounds, workers int) *Model {
+		if workers < 1 {
+			workers = 1
+		}
+		return &Model{
+			Prog:       gp,
+			Truth:      out,
+			Rounds:     rounds,
+			SCCs:       cond.NumComps(),
+			LargestSCC: cond.LargestComp,
+			HardSCCs:   cond.NumHard,
+			Workers:    workers,
+		}
+	}
 	if nAff == 0 {
 		out := make([]Truth, n)
 		for i := range out {
 			out[i] = prevTruth(int32(i))
 		}
-		return &Model{Prog: gp, Truth: out}
+		return wrap(out, 0, 1)
 	}
 	if nAff*4 > n {
 		return solve(gp)
@@ -95,7 +121,7 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 	}
 	var subRules []Rule
 	for a := int32(0); int(a) < n; a++ {
-		if !affected[a] {
+		if !affected(a) {
 			continue
 		}
 		sa := subOf(a)
@@ -104,7 +130,7 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 			nr := Rule{Head: sa}
 			keep := true
 			for _, b := range r.Pos {
-				if affected[b] {
+				if affected(b) {
 					nr.Pos = append(nr.Pos, subOf(b))
 					continue
 				}
@@ -121,7 +147,7 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 			}
 			if keep {
 				for _, b := range r.Neg {
-					if affected[b] {
+					if affected(b) {
 						nr.Neg = append(nr.Neg, subOf(b))
 						continue
 					}
@@ -146,7 +172,7 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 	// truth with u ← not u. True/false boundary atoms never reached
 	// subOf, so everything here beyond the affected prefix is undefined.
 	for si := int32(0); int(si) < len(subAtoms); si++ {
-		if !affected[subAtoms[si]] {
+		if !affected(subAtoms[si]) {
 			subRules = append(subRules, Rule{Head: si, Neg: []int32{si}})
 		}
 	}
@@ -154,11 +180,11 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 
 	out := make([]Truth, n)
 	for i := int32(0); int(i) < n; i++ {
-		if affected[i] {
+		if affected(i) {
 			out[i] = sm.Truth[subIdx[i]]
 		} else {
 			out[i] = prevTruth(i)
 		}
 	}
-	return &Model{Prog: gp, Truth: out, Rounds: sm.Rounds}
+	return wrap(out, sm.Rounds, sm.Workers)
 }

@@ -22,6 +22,7 @@ package ground
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/atom"
 	"repro/internal/chase"
@@ -79,6 +80,49 @@ type Program struct {
 	// the appended suffix of a deeper chase.
 	chaseAtoms int
 	chaseInsts int
+
+	// cond/condLight cache the dependency-graph condensation (Condense):
+	// the modular solver and the incremental warm-start both consume it,
+	// and a program shared across snapshot rungs may be condensed from
+	// several goroutines. Publication is an atomic pointer rather than a
+	// Once so the closure path can observe an already-built full
+	// condensation without forcing one; racing builders waste a little
+	// work and agree on the survivor.
+	cond      atomic.Pointer[Condensation]
+	condLight atomic.Pointer[Condensation]
+}
+
+// Condensation returns (building on first use) the full condensation of
+// the program's atom dependency graph. Safe for concurrent callers; the
+// program must not gain rules afterwards (the extension paths build new
+// Programs, so this holds by construction).
+func (p *Program) Condensation() *Condensation {
+	if c := p.cond.Load(); c != nil {
+		return c
+	}
+	c := condense(p, true)
+	if !p.cond.CompareAndSwap(nil, c) {
+		c = p.cond.Load()
+	}
+	return c
+}
+
+// closureCondensation returns a condensation sufficient for the affected
+// cone closure (Comp, component sizes, dependent edges): the full one
+// when already built, otherwise a cheaper closure-only build (see
+// condense) — the per-delta warm start pays for exactly what it reads.
+func (p *Program) closureCondensation() *Condensation {
+	if c := p.cond.Load(); c != nil {
+		return c
+	}
+	if c := p.condLight.Load(); c != nil {
+		return c
+	}
+	c := condense(p, false)
+	if !p.condLight.CompareAndSwap(nil, c) {
+		c = p.condLight.Load()
+	}
+	return c
 }
 
 // NumAtoms returns the universe size.
@@ -142,7 +186,7 @@ func flatIndex(counts []int32, total int) [][]int32 {
 	out := make([][]int32, len(counts))
 	off := 0
 	for a, c := range counts {
-		out[a] = arena[off:off : off+int(c)]
+		out[a] = arena[off : off : off+int(c)]
 		off += int(c)
 	}
 	return out
@@ -360,8 +404,19 @@ type Model struct {
 	Truth []Truth
 	// Rounds is the number of outer operator applications the computing
 	// algorithm needed (the finite counterpart of the paper's possibly
-	// transfinite iteration count, Example 9).
+	// transfinite iteration count, Example 9). A modular solve
+	// (SolveModular) reports the sum over components — the sequential
+	// composition of the per-component iterations along the topological
+	// order, the modular analog of the paper's ordinal stages — so the
+	// count still grows with the depth of the (truncated) program.
 	Rounds int
+
+	// Modular-evaluation statistics, set by SolveModular (zero when a
+	// global algorithm ran directly on the program).
+	SCCs       int // dependency-graph components
+	LargestSCC int // atoms in the largest component
+	HardSCCs   int // components with a negation cycle (full WFS fixpoint)
+	Workers    int // peak worker goroutines used by the solve
 }
 
 // TruthOf returns the truth of local atom a.

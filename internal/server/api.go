@@ -35,6 +35,7 @@ type SessionOptions struct {
 	Depth           int    `json:"depth,omitempty"`
 	MaxAtoms        int    `json:"max_atoms,omitempty"`
 	Algorithm       string `json:"algorithm,omitempty"` // alternating-fixpoint | unfounded-sets | forward-proofs | remainder
+	Parallelism     int    `json:"parallelism,omitempty"`
 	AdaptiveStart   int    `json:"adaptive_start,omitempty"`
 	AdaptiveStep    int    `json:"adaptive_step,omitempty"`
 	StabilityWindow int    `json:"stability_window,omitempty"`
@@ -50,6 +51,7 @@ func (o *SessionOptions) toOptions() (wfs.Options, error) {
 	opts := wfs.Options{
 		Depth:           o.Depth,
 		MaxAtoms:        o.MaxAtoms,
+		Parallelism:     o.Parallelism,
 		AdaptiveStart:   o.AdaptiveStart,
 		AdaptiveStep:    o.AdaptiveStep,
 		StabilityWindow: o.StabilityWindow,
@@ -194,6 +196,14 @@ type ModelStats struct {
 	TrueAtoms       int  `json:"true_atoms"`
 	UndefinedAtoms  int  `json:"undefined_atoms"`
 	FalseAtoms      int  `json:"false_atoms"`
+
+	// Modular-evaluation shape: dependency-graph SCC count, largest
+	// component size, components that needed the full WFS fixpoint
+	// (internal negation cycle), and peak solver workers.
+	SCCCount     int `json:"scc_count"`
+	LargestSCC   int `json:"largest_scc"`
+	HardSCCs     int `json:"hard_sccs"`
+	SolveWorkers int `json:"solve_workers"`
 }
 
 // SessionStatsResponse reports engine/model statistics for one session.
@@ -228,17 +238,25 @@ func sessionStatsDTO(name string, st wfs.Stats) SessionStatsResponse {
 			TrueAtoms:       st.Model.TrueAtoms,
 			UndefinedAtoms:  st.Model.UndefinedAtoms,
 			FalseAtoms:      st.Model.FalseAtoms,
+			SCCCount:        st.Model.SCCs,
+			LargestSCC:      st.Model.LargestSCC,
+			HardSCCs:        st.Model.HardSCCs,
+			SolveWorkers:    st.Model.SolveWorkers,
 		},
 	}
 }
 
 // ServerStatsResponse reports server-wide statistics.
 type ServerStatsResponse struct {
-	Sessions      int        `json:"sessions"`
-	Cache         CacheStats `json:"cache"`
-	InFlight      int64      `json:"in_flight"`
-	MaxConcurrent int        `json:"max_concurrent"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
+	Sessions int        `json:"sessions"`
+	Cache    CacheStats `json:"cache"`
+	// SingleflightShared counts answers served from another request's
+	// in-flight computation (the stampede window between a cache miss
+	// and the leader's Put).
+	SingleflightShared int64   `json:"singleflight_shared"`
+	InFlight           int64   `json:"in_flight"`
+	MaxConcurrent      int     `json:"max_concurrent"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
 }
 
 // ErrorResponse is the uniform error body.

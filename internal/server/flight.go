@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup collapses concurrent computations of the same answer-cache
+// key into one (cache-stampede protection): when N identical queries
+// land on one snapshot at once — the LRU cache is cold for that key
+// until the first of them finishes — the first caller computes and the
+// other N−1 wait for its result instead of redundantly evaluating the
+// same query N times. Keys are the answerKey strings, so "identical"
+// already means same session incarnation, same epoch, same normalized
+// query.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// do returns fn's result for key, running fn at most once across all
+// concurrent callers with that key. shared reports that the result was
+// computed by another in-flight caller. Errors are shared too: the
+// followers were about to run the identical computation, so they would
+// have failed identically. The key is forgotten once the call finishes —
+// later callers recompute (normally they instead hit the LRU cache the
+// leader populated).
+func (g *flightGroup) do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: the panic propagates to the leader (and the
+			// server's recovery middleware), but waiters must neither
+			// hang nor observe a zero value as a genuine answer.
+			c.err = fmt.Errorf("server: in-flight computation aborted")
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, false, c.err
+}

@@ -15,11 +15,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ServerStatsResponse{
-		Sessions:      s.reg.Len(),
-		Cache:         s.cache.Stats(),
-		InFlight:      s.limiter.inFlight.Load(),
-		MaxConcurrent: s.cfg.MaxConcurrent,
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Sessions:           s.reg.Len(),
+		Cache:              s.cache.Stats(),
+		SingleflightShared: s.shared.Load(),
+		InFlight:           s.limiter.inFlight.Load(),
+		MaxConcurrent:      s.cfg.MaxConcurrent,
+		UptimeSeconds:      time.Since(s.started).Seconds(),
 	})
 }
 
@@ -160,6 +161,13 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 // no post-compute epoch re-check is needed, and concurrent reads on one
 // session share the snapshot instead of serializing behind the system's
 // evaluation lock.
+//
+// Misses are additionally deduplicated through a singleflight group keyed
+// by the same cache key: N identical queries arriving while the answer is
+// still being computed (the stampede window the LRU cannot cover) wait
+// for the one in-flight evaluation instead of computing N times. Shared
+// results report cached=true — from the caller's perspective the answer
+// came from someone else's computation.
 func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs.Snapshot) (any, error)) (any, bool, error) {
 	snap, err := sess.Sys.Snapshot()
 	if err != nil {
@@ -169,23 +177,33 @@ func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs
 	if v, ok := s.cache.Get(key); ok {
 		return v, true, nil
 	}
-	v, err := compute(snap)
+	v, shared, err := s.flight.do(key, func() (any, error) {
+		v, err := compute(snap)
+		if err != nil {
+			return nil, err
+		}
+		// Cache only if the session is still the registered one — a
+		// concurrent DELETE purges the cache by session ID — and still at
+		// the snapshot's epoch: a concurrent mutation prunes the
+		// session's stale-epoch entries (PruneStale), and a Put landing
+		// after either purge would squat unreachably in the LRU until it
+		// ages out. The re-checks shrink that window from the whole
+		// evaluation to the instants before Put; the LRU bound handles
+		// the residue.
+		if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
+			if _, epoch := sess.Sys.FactsEpoch(); epoch == snap.Epoch() {
+				s.cache.Put(key, sess.ID(), snap.Epoch(), v)
+			}
+		}
+		return v, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	// Cache only if the session is still the registered one — a concurrent
-	// DELETE purges the cache by session ID — and still at the snapshot's
-	// epoch: a concurrent mutation prunes the session's stale-epoch
-	// entries (PruneStale), and a Put landing after either purge would
-	// squat unreachably in the LRU until it ages out. The re-checks
-	// shrink that window from the whole evaluation to the instants before
-	// Put; the LRU bound handles the residue.
-	if cur, err := s.reg.Get(sess.Name); err == nil && cur == sess {
-		if _, epoch := sess.Sys.FactsEpoch(); epoch == snap.Epoch() {
-			s.cache.Put(key, sess.ID(), snap.Epoch(), v)
-		}
+	if shared {
+		s.shared.Add(1)
 	}
-	return v, false, nil
+	return v, shared, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

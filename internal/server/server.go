@@ -4,6 +4,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,6 +70,8 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	cache   *Cache
+	flight  flightGroup  // collapses concurrent identical computations
+	shared  atomic.Int64 // results served from an in-flight computation
 	limiter *limiter
 	started time.Time
 }

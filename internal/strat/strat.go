@@ -1,7 +1,7 @@
 // Package strat implements the stratified-negation baseline semantics for
 // guarded Datalog± with negation (Calì–Gottlob–Lukasiewicz [1], discussed
-// in §1): the iterated least fixpoint (perfect model) computed stratum by
-// stratum over the bounded chase. On stratified programs the well-founded
+// in §1): the iterated least fixpoint (perfect model) computed bottom-up
+// over the bounded chase. On stratified programs the well-founded
 // semantics coincides with this model (one of the WFS's defining
 // properties, §1), which experiment E5 and the cross-check tests verify;
 // on non-stratified programs this baseline is simply inapplicable — the
@@ -22,9 +22,19 @@ var ErrNotStratified = errors.New("strat: program is not stratified")
 
 // Evaluate computes the perfect model of db under prog at the given chase
 // depth. It fails with ErrNotStratified when no stratification exists.
+//
+// The solve runs on the ground dependency-graph condensation
+// (ground.SolveModular) rather than a predicate-level stratum schedule: a
+// predicate stratification guarantees the ground program has no negation
+// cycle, so every component takes the modular solver's single
+// least-fixpoint pass and the evaluation order induced by the
+// condensation *is* an (atom-granular) stratification — the iterated
+// least fixpoint and the WFS coincide rule-for-rule. This retires the
+// previous duplicate machinery (per-atom strata inherited from the
+// predicate stratification driving a dedicated iterated solver) in favor
+// of the one evaluation path the engine already uses.
 func Evaluate(prog *program.Program, db program.Database, depth int) (*core.Model, error) {
-	s, ok := prog.Stratify()
-	if !ok {
+	if _, ok := prog.Stratify(); !ok {
 		return nil, ErrNotStratified
 	}
 	if depth <= 0 {
@@ -32,11 +42,10 @@ func Evaluate(prog *program.Program, db program.Database, depth int) (*core.Mode
 	}
 	res := chase.Run(prog, db, chase.Options{MaxDepth: depth, MaxAtoms: 4_000_000})
 	gp := ground.FromChase(res)
-	atomStrata := make([]int32, gp.NumAtoms())
-	for i, a := range gp.Atoms {
-		atomStrata[i] = int32(s.Strata[prog.Store.PredOf(a)])
-	}
-	gm := ground.Stratified(gp, atomStrata, s.NumStrata)
+	// The algorithm argument only runs inside negation-cyclic components,
+	// of which a stratified program has none; it is the fallback for the
+	// degenerate single-component condensation.
+	gm := ground.SolveModular(gp, ground.AlternatingFixpoint, 0)
 	stats := res.ComputeStats()
 	return &core.Model{
 		Chase: res,
