@@ -270,6 +270,56 @@ func BenchmarkParallelAnswer(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceOverhead — the observability tax on the hot query path:
+// the same warm-snapshot query answered with tracing disabled (the
+// production default, one nil check per hook site), with a coarse trace
+// (the server's slow-query-log mode), and with a detailed trace
+// (?trace=1 / wfsquery -trace, which adds per-SCC timings and frontier
+// profiles). The acceptance bar is disabled-tracing within 5% of the
+// pre-instrumentation BenchmarkParallelAnswer/snapshot number;
+// BENCH_trace.json records the committed comparison.
+func BenchmarkTraceOverhead(b *testing.B) {
+	src := bench.WinMoveRandom(1000, 2000, 9)
+	const query = "? move(X,Y), not win(Y)."
+	sys, err := Load(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := Prepare(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := snap.Answer(q); err != nil { // warm models + compile cache
+		b.Fatal(err)
+	}
+
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ans, err := snap.Answer(q); err != nil || ans != True {
+				b.Fatalf("answer = %v (%v)", ans, err)
+			}
+		}
+	})
+	b.Run("traced-coarse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ans, _, _, err := snap.TraceAnswerDetail(q, false); err != nil || ans != True {
+				b.Fatalf("answer = %v (%v)", ans, err)
+			}
+		}
+	})
+	b.Run("traced-detailed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ans, _, _, err := snap.TraceAnswer(q); err != nil || ans != True {
+				b.Fatalf("answer = %v (%v)", ans, err)
+			}
+		}
+	})
+}
+
 // BenchmarkAdaptiveLadder — the resumable-chase headline number: one cold
 // AnswerWithStats on a non-saturating program whose answer flips at every
 // rung, so adaptive deepening climbs the full ladder to MaxDepth.

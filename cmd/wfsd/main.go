@@ -7,7 +7,15 @@
 // Usage:
 //
 //	wfsd [-addr :8080] [-max-sessions N] [-cache-size N]
-//	     [-max-concurrent N] [-preload prog.dl [-preload-name default]]
+//	     [-max-concurrent N] [-max-queue-wait 5s] [-slow-query 0]
+//	     [-access-log] [-pprof-addr :6060]
+//	     [-preload prog.dl [-preload-name default]]
+//
+// Observability: GET /metrics serves Prometheus text metrics,
+// ?trace=1 on the query endpoint returns a per-phase evaluation trace,
+// -slow-query logs uncached queries over the threshold with their phase
+// breakdown, and -pprof-addr serves net/http/pprof on a separate
+// listener (off by default; keep it private).
 //
 // Endpoints are listed in the package documentation of internal/server
 // and in README.md. SIGINT/SIGTERM trigger a graceful drain.
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +44,10 @@ func main() {
 		maxSessions   = flag.Int("max-sessions", server.DefaultMaxSessions, "max live sessions (-1 = unlimited)")
 		cacheSize     = flag.Int("cache-size", server.DefaultCacheSize, "answer cache entries (-1 = disabled)")
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests (-1 = unlimited)")
+		maxQueueWait  = flag.Duration("max-queue-wait", server.DefaultMaxQueueWait, "max wait for a concurrency slot before 429 (-1s = unbounded)")
+		slowQuery     = flag.Duration("slow-query", 0, "log uncached queries slower than this with phase breakdown (0 = off)")
+		accessLog     = flag.Bool("access-log", false, "log one structured line per request")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 		preload       = flag.String("preload", "", "program file to load at startup")
 		preloadName   = flag.String("preload-name", "default", "session name for -preload")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
@@ -42,12 +55,18 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "wfsd: ", log.LstdFlags)
 
-	srv := server.New(server.Config{
-		MaxSessions:   *maxSessions,
-		CacheSize:     *cacheSize,
-		MaxConcurrent: *maxConcurrent,
-		Logger:        logger,
-	})
+	cfg := server.Config{
+		MaxSessions:        *maxSessions,
+		CacheSize:          *cacheSize,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueueWait:       *maxQueueWait,
+		SlowQueryThreshold: *slowQuery,
+		Logger:             logger,
+	}
+	if *accessLog {
+		cfg.AccessLogger = log.New(os.Stderr, "wfsd.access: ", log.LstdFlags)
+	}
+	srv := server.New(cfg)
 	if *preload != "" {
 		src, err := os.ReadFile(*preload)
 		if err != nil {
@@ -63,6 +82,18 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// The blank pprof import registered its handlers on
+		// http.DefaultServeMux; serving that mux on a second, private
+		// listener keeps profiling off the public API surface.
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

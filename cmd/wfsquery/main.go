@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] file.dlg
+//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] [-trace] file.dlg
 //
 // The program file may embed queries ('? lit, ….'); additional queries can
 // be passed with -query (repeatable). -retract (repeatable) removes
 // database facts after loading and before answering — all retractions
 // apply as one atomic delta. With -model, the tool also prints the true
-// and undefined atoms of the model.
+// and undefined atoms of the model. With -trace, each -query prints a
+// per-phase evaluation trace (chase/ground/condense/solve timings).
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		algorithm = flag.String("algorithm", "alt", "WFS algorithm: alt | unfounded | forward")
 		showModel = flag.Bool("model", false, "print true and undefined atoms")
 		verbose   = flag.Bool("v", false, "print adaptive-deepening traces")
+		traceEval = flag.Bool("trace", false, "print a per-phase evaluation trace for each -query")
 		explain   = flag.String("explain", "", "print a forward proof (Def. 5) of a ground atom, e.g. -explain 't(0)'")
 		queries   queryFlags
 		retracts  queryFlags
@@ -87,6 +89,19 @@ func main() {
 		fmt.Printf("%-50s %s\n", r.Query, r.Answer)
 	}
 	for _, qs := range queries {
+		if *traceEval {
+			ans, stats, et, err := sys.TraceAnswer(qs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-50s %s\n", qs, ans)
+			fmt.Print(et.Format())
+			if *verbose {
+				fmt.Printf("  depths=%v answers=%v exact=%v stable=%v\n",
+					stats.Depths, stats.Answers, stats.Exact, stats.Stable)
+			}
+			continue
+		}
 		ans, stats, err := sys.AnswerWithStats(qs)
 		if err != nil {
 			fatal(err)

@@ -17,6 +17,7 @@
 //	:model                           print true and undefined atoms
 //	:check                           evaluate constraints and EGDs
 //	:stats                           chase/model statistics
+//	:trace on|off                    per-phase evaluation traces for '?' queries
 //	:help                            this text
 //	:quit                            exit
 package main
@@ -44,6 +45,7 @@ commands:
   :model          print true and undefined atoms
   :check          evaluate constraints and EGDs
   :stats          chase/model statistics
+  :trace on|off   per-phase evaluation traces for '?' queries
   :help           this text
   :quit           exit`
 
@@ -83,6 +85,7 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 		args []string
 	}
 	var retracted []retraction
+	tracing := false
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "wfs> ")
@@ -166,7 +169,29 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 				fmt.Fprintln(out, strings.Join(row, "\t"))
 			}
 			fmt.Fprintf(out, "(%d tuples)\n", len(rows))
+		case line == ":trace on":
+			tracing = true
+			fmt.Fprintln(out, "tracing on")
+		case line == ":trace off":
+			tracing = false
+			fmt.Fprintln(out, "tracing off")
+		case line == ":trace":
+			state := "off"
+			if tracing {
+				state = "on"
+			}
+			fmt.Fprintf(out, "tracing %s (use :trace on|off)\n", state)
 		case strings.HasPrefix(line, "?"):
+			if tracing {
+				ans, _, et, err := sys.TraceAnswer(line)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					break
+				}
+				fmt.Fprintln(out, ans)
+				fmt.Fprint(out, et.Format())
+				break
+			}
 			ans, err := sys.Answer(line)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)

@@ -60,6 +60,32 @@ func TestReplCommands(t *testing.T) {
 	}
 }
 
+func TestReplTraceToggle(t *testing.T) {
+	base := "move(a,b).\nmove(X,Y), not win(Y) -> win(X).\n"
+	out := run(t, base, `
+:trace
+:trace on
+? win(a).
+:trace off
+? win(a).
+`)
+	if !strings.Contains(out, "tracing off (use :trace on|off)") {
+		t.Errorf("bare :trace did not report state:\n%s", out)
+	}
+	if !strings.Contains(out, "tracing on") {
+		t.Errorf(":trace on not acknowledged:\n%s", out)
+	}
+	// The traced query prints the phase tree; exactly one query ran traced.
+	for _, want := range []string{"query", "ladder", "depth-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "ladder"); got != 1 {
+		t.Errorf(":trace off did not stop tracing (%d ladder lines):\n%s", got, out)
+	}
+}
+
 func TestReplErrorsAndQuit(t *testing.T) {
 	out := run(t, "", `
 this is not valid syntax ->

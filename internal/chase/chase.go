@@ -392,6 +392,37 @@ func (r *Result) tryApply(rule *program.Rule, g atom.AtomID) {
 	r.derive(head, r.depth[g]+1, maxLevel+1)
 }
 
+// ParkedWaiters reports how many rule applications are parked waiting for
+// a side atom to be derived — work the chase matched but could not fire.
+// A large number relative to Instances means rule bodies routinely ask
+// for atoms the chase never derives.
+func (r *Result) ParkedWaiters() int {
+	n := 0
+	for _, ws := range r.waiters {
+		n += len(ws)
+	}
+	return n
+}
+
+// DepthProfile returns the number of derived atoms at each forest depth
+// (index = depth, up to the deepest derived atom): the frontier shape of
+// the chase, for instrumentation. O(atoms); call it on finished chases
+// only when tracing asks for detail.
+func (r *Result) DepthProfile() []int {
+	var prof []int
+	for _, a := range r.Atoms {
+		d := int(r.depth[a])
+		if d < 0 {
+			continue
+		}
+		for len(prof) <= d {
+			prof = append(prof, 0)
+		}
+		prof[d]++
+	}
+	return prof
+}
+
 // Stats summarizes a chase result.
 type Stats struct {
 	Atoms        int

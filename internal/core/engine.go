@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/atom"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/ground"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // Algorithm selects which of the four equivalent WFS fixpoint algorithms
@@ -221,6 +223,14 @@ func (e *Engine) Evaluate() *Model {
 // request (outside the usual monotone deepening pattern) falls back to a
 // fresh bounded chase.
 func (e *Engine) EvaluateAtDepth(depth int) *Model {
+	return e.EvaluateAtDepthTraced(depth, nil)
+}
+
+// EvaluateAtDepthTraced is EvaluateAtDepth with observability: the chase
+// (fresh or extended), grounding, condensation, and solve become child
+// spans of tr, with chase shape counters (see chaseCounters). tr nil is
+// the plain evaluation — cache hits record nothing either way.
+func (e *Engine) EvaluateAtDepthTraced(depth int, tr *trace.Span) *Model {
 	if e.models == nil {
 		e.models = make(map[int]*Model)
 	}
@@ -231,7 +241,7 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 		// A model from before the last ApplyDelta: rebase it onto the
 		// current database instead of re-evaluating from scratch.
 		delete(e.prevModels, depth)
-		m := RebaseModel(pm, e.Prog, e.Opts, depth, e.DB)
+		m := RebaseModelTraced(pm, e.Prog, e.Opts, depth, e.DB, tr)
 		if e.res == nil || depth >= e.res.Opts.MaxDepth {
 			e.res, e.gp = m.Chase, m.GP
 		}
@@ -242,24 +252,56 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 	var gp *ground.Program
 	switch {
 	case e.res != nil && depth > e.res.Opts.MaxDepth:
+		cs := tr.Child("chase-extend")
 		res = e.res.Extend(e.Prog, depth)
+		chaseCounters(cs, res)
+		cs.End()
 		if res == e.res {
 			gp = e.gp // saturated: the deeper chase is identical
 		} else {
+			end := tr.Phase("reground")
 			gp = ground.ExtendFromChase(e.gp, res)
+			end()
 		}
 	case e.res != nil && depth == e.res.Opts.MaxDepth:
 		res, gp = e.res, e.gp
 	default:
+		cs := tr.Child("chase")
 		res = chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms})
+		chaseCounters(cs, res)
+		cs.End()
+		end := tr.Phase("ground")
 		gp = ground.FromChase(res)
+		end()
 	}
 	if e.res == nil || depth >= e.res.Opts.MaxDepth {
 		e.res, e.gp = res, gp
 	}
-	m := modelFrom(e.Opts, res, gp, depth)
+	m := modelFromTraced(e.Opts, res, gp, depth, tr)
 	e.models[depth] = m
 	return m
+}
+
+// chaseCounters records a finished chase's shape on its span: universe
+// size, fired instances, parked (unfirable) rule applications, and the
+// deepest derived atom; a Detailed trace additionally gets the full
+// per-depth frontier profile as counters on a frontier child.
+func chaseCounters(tr *trace.Span, res *chase.Result) {
+	if !tr.Enabled() {
+		return
+	}
+	cs := res.ComputeStats()
+	tr.SetCount("chase_atoms", int64(cs.Atoms))
+	tr.SetCount("chase_instances", int64(cs.Instances))
+	tr.SetCount("parked_waiters", int64(res.ParkedWaiters()))
+	tr.SetCount("max_depth", int64(cs.MaxDepth))
+	if tr.Detailed() {
+		f := tr.Child("frontier")
+		for d, n := range res.DepthProfile() {
+			f.SetCount("depth_"+strconv.Itoa(d), int64(n))
+		}
+		f.End()
+	}
 }
 
 // ApplyDelta rebases the engine onto a mutated database. Nothing is
@@ -292,13 +334,24 @@ func (e *Engine) ApplyDelta(newDB program.Database) {
 // grounding are appended copies, so prev keeps serving concurrent
 // readers.
 func ExtendModel(prev *Model, prog *program.Program, opts Options, depth int) *Model {
+	return ExtendModelTraced(prev, prog, opts, depth, nil)
+}
+
+// ExtendModelTraced is ExtendModel with observability (see
+// EvaluateAtDepthTraced for the span inventory).
+func ExtendModelTraced(prev *Model, prog *program.Program, opts Options, depth int, tr *trace.Span) *Model {
 	opts = opts.withDefaults()
+	cs := tr.Child("chase-extend")
 	res := prev.Chase.Extend(prog, depth)
+	chaseCounters(cs, res)
+	cs.End()
 	gp := prev.GP
 	if res != prev.Chase {
+		end := tr.Phase("reground")
 		gp = ground.ExtendFromChase(prev.GP, res)
+		end()
 	}
-	return modelFrom(opts, res, gp, depth)
+	return modelFromTraced(opts, res, gp, depth, tr)
 }
 
 // RebaseModel carries a previously evaluated model onto a mutated
@@ -317,8 +370,18 @@ func ExtendModel(prev *Model, prog *program.Program, opts Options, depth int) *M
 // truncated chase, or a depth mismatch from an off-ladder caller) falls
 // back to cold evaluation at the requested depth.
 func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, newDB program.Database) *Model {
+	return RebaseModelTraced(prev, prog, opts, depth, newDB, nil)
+}
+
+// RebaseModelTraced is RebaseModel with observability: the delta-apply
+// breakdown (diff, overdelete/rederive/reground under a delta-rebase
+// child, cone warm starts) becomes child spans of tr with the delta and
+// cone sizes as counters. tr nil is the plain rebase.
+func RebaseModelTraced(prev *Model, prog *program.Program, opts Options, depth int, newDB program.Database, tr *trace.Span) *Model {
 	opts = opts.withDefaults()
+	endDiff := tr.Phase("diff")
 	added, removed := delta.Diff(prev.Chase.DB, newDB)
+	endDiff()
 	if len(added) == 0 && len(removed) == 0 {
 		return prev
 	}
@@ -327,24 +390,45 @@ func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, ne
 	// receiver). Rebase at the chase's own bound, then deepen — the delta
 	// may have unsaturated it.
 	if prevCap := prev.Chase.Opts.MaxDepth; prevCap <= depth {
-		if reb, ok := delta.Rebase(prev.Chase, prev.GP, prog, newDB, added, removed); ok {
-			gm := ground.IncrementalModel(reb.GP, prev.GM, reb.Seeds, solverFor(opts))
+		rb := tr.Child("delta-rebase")
+		reb, ok := delta.RebaseTraced(prev.Chase, prev.GP, prog, newDB, added, removed, rb)
+		rb.End()
+		if ok {
+			ws := tr.Child("warm-solve")
+			gm := ground.IncrementalModelTraced(reb.GP, prev.GM, reb.Seeds, solverFor(opts), ws)
+			ws.End()
 			res, gp := reb.Chase, reb.GP
-			if ext := res.Extend(prog, depth); ext != res {
+			cs := tr.Child("chase-extend")
+			ext := res.Extend(prog, depth)
+			if ext != res {
+				chaseCounters(cs, ext)
+			}
+			cs.End()
+			if ext != res {
 				firstNew := len(res.Instances)
 				res = ext
+				endRg := tr.Phase("reground")
 				gp = ground.ExtendFromChase(gp, res)
+				endRg()
 				seeds := make([]atom.AtomID, 0, len(res.Instances)-firstNew)
 				for i := firstNew; i < len(res.Instances); i++ {
 					seeds = append(seeds, res.Instances[i].Head)
 				}
-				gm = ground.IncrementalModel(gp, gm, seeds, solverFor(opts))
+				ws2 := tr.Child("warm-solve")
+				gm = ground.IncrementalModelTraced(gp, gm, seeds, solverFor(opts), ws2)
+				ws2.End()
 			}
 			return wrapModel(opts, res, gp, gm, depth)
 		}
 	}
+	cs := tr.Child("chase")
 	res := chase.Run(prog, newDB, chase.Options{MaxDepth: depth, MaxAtoms: opts.MaxAtoms})
-	return modelFrom(opts, res, ground.FromChase(res), depth)
+	chaseCounters(cs, res)
+	cs.End()
+	endG := tr.Phase("ground")
+	gp := ground.FromChase(res)
+	endG()
+	return modelFromTraced(opts, res, gp, depth, tr)
 }
 
 // solverFor returns the solve path the options select, as a function
@@ -354,10 +438,17 @@ func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, ne
 // each negation-cyclic component and up to opts.Parallelism independent
 // components solved concurrently.
 func solverFor(opts Options) func(*ground.Program) *ground.Model {
+	return solverForTraced(opts, nil)
+}
+
+// solverForTraced is solverFor with the modular solve recording its
+// condense/solve phases (and, on a Detailed trace, the slowest
+// components) onto tr.
+func solverForTraced(opts Options, tr *trace.Span) func(*ground.Program) *ground.Model {
 	algo := algorithmFor(opts.Algorithm)
 	par := opts.Parallelism
 	return func(p *ground.Program) *ground.Model {
-		return ground.SolveModular(p, algo, par)
+		return ground.SolveModularTraced(p, algo, par, tr)
 	}
 }
 
@@ -378,7 +469,11 @@ func algorithmFor(a Algorithm) func(*ground.Program) *ground.Model {
 // modelFrom runs the configured WFS fixpoint algorithm over a grounded
 // chase and wraps the result with its exactness and guard-band metadata.
 func modelFrom(opts Options, res *chase.Result, gp *ground.Program, depth int) *Model {
-	return wrapModel(opts, res, gp, solverFor(opts)(gp), depth)
+	return modelFromTraced(opts, res, gp, depth, nil)
+}
+
+func modelFromTraced(opts Options, res *chase.Result, gp *ground.Program, depth int, tr *trace.Span) *Model {
+	return wrapModel(opts, res, gp, solverForTraced(opts, tr)(gp), depth)
 }
 
 // wrapModel attaches exactness and guard-band metadata to an evaluated
@@ -537,6 +632,19 @@ type AnswerStats struct {
 // diverge.
 func AdaptiveAnswer(opts Options, modelAt func(depth int) (*Model, error),
 	compile func(*Model) (*program.Query, error)) (ground.Truth, *AnswerStats, error) {
+	return AdaptiveAnswerTraced(opts,
+		func(d int, _ *trace.Span) (*Model, error) { return modelAt(d) },
+		compile, nil)
+}
+
+// AdaptiveAnswerTraced is the ladder with observability: each depth rung
+// becomes a depth-N child span of tr (model materialization recorded by
+// modelAt under the span it receives, the query match under a match
+// child) carrying the three-valued answer at that depth as a counter.
+// tr nil is the plain ladder; the one extra nil check per rung is the
+// entire disabled cost.
+func AdaptiveAnswerTraced(opts Options, modelAt func(depth int, tr *trace.Span) (*Model, error),
+	compile func(*Model) (*program.Query, error), tr *trace.Span) (ground.Truth, *AnswerStats, error) {
 	if err := opts.Validate(); err != nil {
 		return ground.False, nil, err
 	}
@@ -545,15 +653,25 @@ func AdaptiveAnswer(opts Options, modelAt func(depth int) (*Model, error),
 	var last ground.Truth
 	agree := 0
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
-		m, err := modelAt(d)
+		var ds *trace.Span
+		if tr.Enabled() {
+			ds = tr.Child("depth-" + strconv.Itoa(d))
+		}
+		m, err := modelAt(d, ds)
 		if err != nil {
+			ds.End()
 			return ground.False, nil, err
 		}
 		q, err := compile(m)
 		if err != nil {
+			ds.End()
 			return ground.False, nil, err
 		}
+		endMatch := ds.Phase("match")
 		ans := m.Answer(q)
+		endMatch()
+		ds.SetCount("answer", int64(ans))
+		ds.End()
 		stats.Depths = append(stats.Depths, d)
 		stats.Answers = append(stats.Answers, ans)
 		stats.FinalDepth = d

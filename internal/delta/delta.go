@@ -21,6 +21,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/ground"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // Diff computes the set-level difference between two database instances:
@@ -75,9 +76,20 @@ type Result struct {
 // scratch.
 func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
 	newDB program.Database, added, removed []atom.AtomID) (Result, bool) {
+	return RebaseTraced(res, gp, prog, newDB, added, removed, nil)
+}
+
+// RebaseTraced is Rebase with observability: the overdelete (retract),
+// rederive (extend-db), and reground stages become child spans of tr,
+// with delta sizes (added/removed facts, dead and refired instances) as
+// counters. tr nil degrades to the plain rebase.
+func RebaseTraced(res *chase.Result, gp *ground.Program, prog *program.Program,
+	newDB program.Database, added, removed []atom.AtomID, tr *trace.Span) (Result, bool) {
 	if res.Truncated {
 		return Result{}, false
 	}
+	tr.SetCount("added_facts", int64(len(added)))
+	tr.SetCount("removed_facts", int64(len(removed)))
 	seeds := make([]atom.AtomID, 0, len(added)+len(removed))
 	cur, curGP := res, gp
 	if len(removed) > 0 {
@@ -95,10 +107,13 @@ func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
 				}
 			}
 		}
+		endRetract := tr.Phase("retract")
 		next, dead := cur.Retract(prog, mid)
+		endRetract()
 		if next == nil {
 			return Result{}, false
 		}
+		tr.SetCount("dead_instances", int64(len(dead)))
 		for _, ci := range dead {
 			seeds = append(seeds, cur.Instances[ci].Head)
 		}
@@ -113,16 +128,20 @@ func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
 			}
 		}
 		firstNew := len(cur.Instances)
+		endExtend := tr.Phase("extend-db")
 		next := cur.ExtendDB(prog, newDB, added)
+		endExtend()
 		if next == nil {
 			return Result{}, false
 		}
+		tr.SetCount("new_instances", int64(len(next.Instances)-firstNew))
 		for i := firstNew; i < len(next.Instances); i++ {
 			seeds = append(seeds, next.Instances[i].Head)
 		}
 		seeds = append(seeds, added...)
 		cur = next
 	}
+	endReground := tr.Phase("reground")
 	if curGP != nil {
 		// Pure addition: the grounding extends by the appended suffix;
 		// IDB atoms re-asserted as facts sit before the cursor and need
@@ -131,5 +150,6 @@ func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
 	} else {
 		curGP = ground.FromChase(cur)
 	}
+	endReground()
 	return Result{Chase: cur, GP: curGP, Seeds: seeds}, true
 }

@@ -32,7 +32,10 @@
 // shared with the modular solver that evaluates the subprogram.
 package ground
 
-import "repro/internal/atom"
+import (
+	"repro/internal/atom"
+	"repro/internal/trace"
+)
 
 // IncrementalModel computes the well-founded model of gp by warm-starting
 // from prev, the model of an earlier revision of the program sharing gp's
@@ -48,10 +51,22 @@ import "repro/internal/atom"
 // when the affected cone covers most of the program and solving the
 // subprogram would cost as much as solving everything.
 func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(*Program) *Model) *Model {
+	return IncrementalModelTraced(gp, prev, seeds, solve, nil)
+}
+
+// IncrementalModelTraced is IncrementalModel with observability: cone
+// sizes (seeds, affected atoms, universe, subprogram rules) as counters
+// on tr and the affected-cone solve as a cone-solve child span. tr nil
+// degrades to the plain warm start.
+func IncrementalModelTraced(gp *Program, prev *Model, seeds []atom.AtomID, solve func(*Program) *Model, tr *trace.Span) *Model {
+	tr.SetCount("seeds", int64(len(seeds)))
 	if prev == nil || prev.Prog == nil || gp.Atoms == nil || prev.Prog.Atoms == nil {
+		end := tr.Phase("cold-solve")
+		defer end()
 		return solve(gp)
 	}
 	n := gp.NumAtoms()
+	endClosure := tr.Phase("cone-closure")
 	cond := gp.closureCondensation()
 	affComp := make([]bool, cond.NumComps())
 	var stack []int32
@@ -75,6 +90,9 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 			mark(d)
 		}
 	}
+	endClosure()
+	tr.SetCount("affected_atoms", int64(nAff))
+	tr.SetCount("universe_atoms", int64(n))
 	affected := func(i int32) bool { return affComp[cond.Comp[i]] }
 	prevTruth := func(i int32) Truth { return prev.TruthOfGlobal(gp.Atoms[i]) }
 	// Merged models report the full program's condensation shape, so the
@@ -102,6 +120,8 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 		return wrap(out, 0, 1)
 	}
 	if nAff*4 > n {
+		end := tr.Phase("cold-solve")
+		defer end()
 		return solve(gp)
 	}
 
@@ -176,7 +196,10 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 			subRules = append(subRules, Rule{Head: si, Neg: []int32{si}})
 		}
 	}
+	tr.SetCount("sub_rules", int64(len(subRules)))
+	endSolve := tr.Phase("cone-solve")
 	sm := solve(New(len(subAtoms), subRules))
+	endSolve()
 
 	out := make([]Truth, n)
 	for i := int32(0); int(i) < n; i++ {

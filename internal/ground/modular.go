@@ -1,9 +1,14 @@
 package ground
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // Modular WFS evaluation (the splitting-theorem architecture).
@@ -49,6 +54,70 @@ import (
 const maxParallelism = 256
 
 func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Model {
+	return SolveModularTraced(p, solve, parallelism, nil)
+}
+
+// topSlowestSCCs bounds how many per-component timings a detailed trace
+// keeps: real condensations have tens of thousands of components, and
+// only the slowest few explain where the solve went.
+const topSlowestSCCs = 8
+
+// compTimer collects per-component solve timings when a detailed trace
+// asks for them. It is shared by all workers of one solve, so observation
+// takes a mutex — acceptable because the timer exists only for explicitly
+// traced queries, never on the default path (tr nil or not Detailed).
+type compTimer struct {
+	mu      sync.Mutex
+	entries []compEntry
+}
+
+type compEntry struct {
+	ci    int32
+	atoms int
+	hard  bool
+	d     time.Duration
+}
+
+func (t *compTimer) observe(e compEntry) {
+	t.mu.Lock()
+	t.entries = append(t.entries, e)
+	t.mu.Unlock()
+}
+
+// attachTop folds the collected timings into tr: the k slowest components
+// become child spans named scc-<id> carrying their size.
+func (t *compTimer) attachTop(tr *trace.Span, k int) {
+	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].d > t.entries[j].d })
+	if len(t.entries) > k {
+		t.entries = t.entries[:k]
+	}
+	for _, e := range t.entries {
+		counters := map[string]int64{"atoms": int64(e.atoms)}
+		if e.hard {
+			counters["hard"] = 1
+		}
+		tr.AttachTimed(fmt.Sprintf("scc-%d", e.ci), e.d, counters)
+	}
+}
+
+// timedSolveComp is solveComp plus the optional per-component timing of a
+// detailed trace; tm nil is the zero-cost default.
+func timedSolveComp(p *Program, cond *Condensation, ci int32,
+	truth []Truth, counts []int32, sc *modScratch, solve func(*Program) *Model, tm *compTimer) int {
+	if tm == nil {
+		return solveComp(p, cond, ci, truth, counts, sc, solve)
+	}
+	start := time.Now()
+	rounds := solveComp(p, cond, ci, truth, counts, sc, solve)
+	tm.observe(compEntry{ci: ci, atoms: len(cond.AtomsOf(ci)), hard: cond.NegCycle[ci], d: time.Since(start)})
+	return rounds
+}
+
+// SolveModularTraced is SolveModular with observability: a condense child
+// span, SCC-shape counters on tr, and — only when tr is Detailed — the
+// top-k slowest components attached as child spans. tr nil degrades to
+// the plain solve.
+func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int, tr *trace.Span) *Model {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -56,8 +125,17 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 		parallelism = maxParallelism
 	}
 	n := p.NumAtoms()
+	endCondense := tr.Phase("condense")
 	cond := p.Condensation()
+	endCondense()
 	ncomp := cond.NumComps()
+	var tm *compTimer
+	if tr.Detailed() {
+		tm = &compTimer{}
+	}
+	tr.SetCount("sccs", int64(ncomp))
+	tr.SetCount("largest_scc", int64(cond.LargestComp))
+	tr.SetCount("hard_sccs", int64(cond.NumHard))
 	if ncomp <= 1 || cond.LargestComp*2 >= n {
 		// Degenerate condensation: an empty program, one giant component,
 		// or a component spanning at least half the program. Decomposing
@@ -65,7 +143,9 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 		// component, so run the algorithm directly — this keeps the
 		// modular path within noise of the global solve on
 		// single-component workloads (win-move cycles and the like).
+		endSolve := tr.Phase("solve")
 		m := solve(p)
+		endSolve()
 		m.SCCs = ncomp
 		m.LargestSCC = cond.LargestComp
 		m.HardSCCs = cond.NumHard
@@ -83,15 +163,24 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 	}
 	counts := make([]int32, len(p.Rules))
 
+	solveSpan := tr.Child("solve")
+	defer func() {
+		if tm != nil {
+			tm.attachTop(solveSpan, topSlowestSCCs)
+		}
+		solveSpan.End()
+	}()
+
 	if parallelism == 1 {
 		// Sequential: component IDs are already a bottom-up order, no
 		// levels or barriers needed.
 		sc := &modScratch{}
 		rounds := 0
 		for ci := int32(0); int(ci) < ncomp; ci++ {
-			rounds += solveComp(p, cond, ci, m.Truth, counts, sc, solve)
+			rounds += timedSolveComp(p, cond, ci, m.Truth, counts, sc, solve, tm)
 		}
 		m.Rounds = rounds
+		tr.SetCount("rounds", int64(rounds))
 		return m
 	}
 
@@ -119,7 +208,7 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 	for lvl := 0; lvl < cond.NumLevels(); lvl++ {
 		comps := cond.CompsAtLevel(lvl)
 		if len(comps) == 1 {
-			rounds.Add(int64(solveComp(p, cond, comps[0], m.Truth, counts, &scratches[0], solve)))
+			rounds.Add(int64(timedSolveComp(p, cond, comps[0], m.Truth, counts, &scratches[0], solve, tm)))
 			continue
 		}
 		if nw := min(parallelism, len(comps)); nw > m.Workers {
@@ -131,7 +220,7 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 				feeds[w] = make(chan levelWork, 1)
 				go func(f chan levelWork, sc *modScratch) {
 					for lw := range f {
-						rounds.Add(int64(runLevel(p, cond, lw.comps, lw.next, m.Truth, counts, sc, solve)))
+						rounds.Add(int64(runLevel(p, cond, lw.comps, lw.next, m.Truth, counts, sc, solve, tm)))
 						lw.wg.Done()
 					}
 				}(feeds[w], &scratches[w+1])
@@ -144,24 +233,26 @@ func SolveModular(p *Program, solve func(*Program) *Model, parallelism int) *Mod
 		for _, f := range feeds {
 			f <- lw
 		}
-		rounds.Add(int64(runLevel(p, cond, comps, &next, m.Truth, counts, &scratches[0], solve)))
+		rounds.Add(int64(runLevel(p, cond, comps, &next, m.Truth, counts, &scratches[0], solve, tm)))
 		wg.Wait()
 	}
 	m.Rounds = int(rounds.Load())
+	tr.SetCount("rounds", int64(m.Rounds))
+	tr.SetCount("workers", int64(m.Workers))
 	return m
 }
 
 // runLevel claims components of one topological level off the shared
 // cursor until the level is exhausted, returning the rounds spent.
 func runLevel(p *Program, cond *Condensation, comps []int32, next *atomic.Int32,
-	truth []Truth, counts []int32, sc *modScratch, solve func(*Program) *Model) int {
+	truth []Truth, counts []int32, sc *modScratch, solve func(*Program) *Model, tm *compTimer) int {
 	rounds := 0
 	for {
 		i := int(next.Add(1)) - 1
 		if i >= len(comps) {
 			return rounds
 		}
-		rounds += solveComp(p, cond, comps[i], truth, counts, sc, solve)
+		rounds += timedSolveComp(p, cond, comps[i], truth, counts, sc, solve, tm)
 	}
 }
 

@@ -9,13 +9,14 @@
 //
 //	GET    /v1/healthz                     liveness
 //	GET    /v1/stats                       server-wide stats
+//	GET    /metrics                        Prometheus text metrics
 //	GET    /v1/sessions                    list sessions
 //	POST   /v1/sessions                    create session {name, program, options?}
 //	GET    /v1/sessions/{name}             session info
 //	DELETE /v1/sessions/{name}             delete session
 //	POST   /v1/sessions/{name}/facts      add facts {facts: [{pred, args}]} (atomic batch)
 //	POST   /v1/sessions/{name}/retract    retract facts {facts: [{pred, args}]} (atomic batch)
-//	POST   /v1/sessions/{name}/query      NBCQ answer {query}
+//	POST   /v1/sessions/{name}/query      NBCQ answer {query}; ?trace=1 adds an evaluation trace
 //	POST   /v1/sessions/{name}/select     non-Boolean select {query}
 //	POST   /v1/sessions/{name}/truth      ground-atom truth {atom}
 //	POST   /v1/sessions/{name}/explain    forward proof {atom}
@@ -27,6 +28,7 @@ import (
 
 	wfs "repro"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // SessionOptions is the JSON surface of core.Options. Zero/absent fields
@@ -153,12 +155,15 @@ func answerStatsDTO(s *core.AnswerStats) *AnswerStats {
 	return out
 }
 
-// QueryResponse is the answer to an NBCQ.
+// QueryResponse is the answer to an NBCQ. Trace is present only when
+// the request asked for one (?trace=1); traced responses bypass the
+// answer cache.
 type QueryResponse struct {
-	Query  string       `json:"query"` // normalized form
-	Answer string       `json:"answer"`
-	Cached bool         `json:"cached"`
-	Stats  *AnswerStats `json:"stats,omitempty"`
+	Query  string           `json:"query"` // normalized form
+	Answer string           `json:"answer"`
+	Cached bool             `json:"cached"`
+	Stats  *AnswerStats     `json:"stats,omitempty"`
+	Trace  *trace.EvalTrace `json:"trace,omitempty"`
 }
 
 // SelectResponse is the certain-answer relation of a non-Boolean query.
@@ -207,18 +212,21 @@ type ModelStats struct {
 }
 
 // SessionStatsResponse reports engine/model statistics for one session.
+// Engine carries the system's lifetime build counters (cumulative phase
+// times, build/rebase counts) alongside the current model's shape.
 type SessionStatsResponse struct {
-	Name       string     `json:"name"`
-	Facts      int        `json:"facts"`
-	Epoch      uint64     `json:"epoch"`
-	Algorithm  string     `json:"algorithm"`
-	Stratified bool       `json:"stratified"`
-	DeltaBound string     `json:"delta_bound"`
-	DeltaBits  int        `json:"delta_bits"`
-	Model      ModelStats `json:"model"`
+	Name       string                    `json:"name"`
+	Facts      int                       `json:"facts"`
+	Epoch      uint64                    `json:"epoch"`
+	Algorithm  string                    `json:"algorithm"`
+	Stratified bool                      `json:"stratified"`
+	DeltaBound string                    `json:"delta_bound"`
+	DeltaBits  int                       `json:"delta_bits"`
+	Model      ModelStats                `json:"model"`
+	Engine     wfs.EngineMetricsSnapshot `json:"engine"`
 }
 
-func sessionStatsDTO(name string, st wfs.Stats) SessionStatsResponse {
+func sessionStatsDTO(name string, st wfs.Stats, em wfs.EngineMetricsSnapshot) SessionStatsResponse {
 	return SessionStatsResponse{
 		Name:       name,
 		Facts:      st.Facts,
@@ -227,6 +235,7 @@ func sessionStatsDTO(name string, st wfs.Stats) SessionStatsResponse {
 		Stratified: st.Stratified,
 		DeltaBound: st.DeltaBound,
 		DeltaBits:  st.DeltaBits,
+		Engine:     em,
 		Model: ModelStats{
 			Depth:           st.Model.Depth,
 			MaxDepthReached: st.Model.MaxDepthReached,
@@ -253,10 +262,18 @@ type ServerStatsResponse struct {
 	// SingleflightShared counts answers served from another request's
 	// in-flight computation (the stampede window between a cache miss
 	// and the leader's Put).
-	SingleflightShared int64   `json:"singleflight_shared"`
-	InFlight           int64   `json:"in_flight"`
-	MaxConcurrent      int     `json:"max_concurrent"`
-	UptimeSeconds      float64 `json:"uptime_seconds"`
+	SingleflightShared int64 `json:"singleflight_shared"`
+	InFlight           int64 `json:"in_flight"`
+	// Limiter saturation: requests queued for a slot right now, and
+	// cumulative rejections (429 after MaxQueueWait, 503 when the
+	// client hung up while queued).
+	Waiting          int64   `json:"waiting"`
+	RejectedTimeout  int64   `json:"rejected_timeout"`
+	RejectedCanceled int64   `json:"rejected_canceled"`
+	MaxConcurrent    int     `json:"max_concurrent"`
+	MaxQueueWaitMS   int64   `json:"max_queue_wait_ms"` // 0 = unbounded
+	SlowQueries      int64   `json:"slow_queries"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
 }
 
 // ErrorResponse is the uniform error body.

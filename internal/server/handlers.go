@@ -7,6 +7,7 @@ import (
 	"time"
 
 	wfs "repro"
+	"repro/internal/trace"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -19,7 +20,12 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		Cache:              s.cache.Stats(),
 		SingleflightShared: s.shared.Load(),
 		InFlight:           s.limiter.inFlight.Load(),
+		Waiting:            s.limiter.waiting.Load(),
+		RejectedTimeout:    s.limiter.timeouts.Load(),
+		RejectedCanceled:   s.limiter.canceled.Load(),
 		MaxConcurrent:      s.cfg.MaxConcurrent,
+		MaxQueueWaitMS:     s.cfg.MaxQueueWait.Milliseconds(),
+		SlowQueries:        s.slowQueries.Load(),
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 	})
 }
@@ -211,10 +217,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if r.URL.Query().Get("trace") == "1" {
+		s.tracedQuery(w, sess, q, norm)
+		return
+	}
 	v, cached, err := s.cachedQuery(sess, "answer", norm, func(snap *wfs.Snapshot) (any, error) {
-		ans, stats, err := snap.AnswerWithStats(q)
+		if s.cfg.SlowQueryThreshold <= 0 {
+			ans, stats, err := snap.AnswerWithStats(q)
+			if err != nil {
+				return nil, err
+			}
+			return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
+		}
+		// Slow-query logging armed: run every uncached compute under a
+		// coarse trace so a threshold breach can log where the time
+		// went, not just that it was spent. Coarse tracing skips the
+		// per-SCC and per-depth detail, so its cost is a handful of
+		// span allocations per build — noise next to an actual build.
+		start := time.Now()
+		ans, stats, et, err := snap.TraceAnswerDetail(q, false)
 		if err != nil {
 			return nil, err
+		}
+		if d := time.Since(start); d >= s.cfg.SlowQueryThreshold {
+			s.logSlow(sess.Name, norm, d, et)
 		}
 		return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
 	})
@@ -225,6 +251,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := v.(QueryResponse)
 	resp.Cached = cached
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// tracedQuery answers ?trace=1 requests with a detailed evaluation
+// trace, bypassing the answer cache and the singleflight group: the
+// point of tracing is to observe what this evaluation costs, and a
+// cached answer has no evaluation to observe. The response is never
+// stored, so the trace-carrying body cannot be replayed to an untraced
+// caller.
+func (s *Server) tracedQuery(w http.ResponseWriter, sess *Session, q *wfs.Query, norm string) {
+	snap, err := sess.Sys.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	ans, stats, et, err := snap.TraceAnswer(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if d := time.Since(start); s.cfg.SlowQueryThreshold > 0 && d >= s.cfg.SlowQueryThreshold {
+		s.logSlow(sess.Name, norm, d, et)
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Query:  norm,
+		Answer: ans.String(),
+		Stats:  answerStatsDTO(stats),
+		Trace:  et,
+	})
+}
+
+// logSlow emits the structured slow-query line with the compact phase
+// breakdown and bumps the counter surfaced in /v1/stats and /metrics.
+func (s *Server) logSlow(session, query string, d time.Duration, et *trace.EvalTrace) {
+	s.slowQueries.Add(1)
+	s.cfg.Logger.Printf("slow-query session=%q query=%q dur=%s phases=%s",
+		session, query, d.Round(time.Microsecond), et.Compact())
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -340,5 +403,6 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, sessionStatsDTO(sess.Name, sess.Sys.Stats()))
+	writeJSON(w, http.StatusOK,
+		sessionStatsDTO(sess.Name, sess.Sys.Stats(), sess.Sys.Metrics().Read()))
 }

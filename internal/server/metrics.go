@@ -1,0 +1,311 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is wfsd's zero-dependency metrics surface: per-route request
+// latency histograms and status counters collected by the instrument
+// middleware, rendered together with cache/limiter/session gauges as
+// Prometheus text exposition format 0.0.4 on GET /metrics. Everything a
+// scrape reads is either an atomic or held under the single httpMetrics
+// mutex; nothing on this path takes a session's evaluation lock or
+// forces a model build.
+
+// latencyBuckets are the histogram upper bounds in seconds. Queries
+// range from sub-millisecond cache hits to multi-second cold builds, so
+// the buckets span four decades.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// routeStats accumulates one route's observations. Guarded by
+// httpMetrics.mu — route cardinality is tiny (the fixed route table), so
+// a single mutex beats per-route sharding in everything but benchmarks
+// nobody runs.
+type routeStats struct {
+	statuses map[int]int64 // requests by HTTP status code
+	buckets  []int64       // cumulative-style counts are computed at render
+	sum      float64       // total seconds
+	count    int64
+}
+
+// httpMetrics is the per-route request latency/status collector.
+type httpMetrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{routes: make(map[string]*routeStats)}
+}
+
+func (m *httpMetrics) observe(route string, status int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{
+			statuses: make(map[int]int64),
+			buckets:  make([]int64, len(latencyBuckets)),
+		}
+		m.routes[route] = rs
+	}
+	rs.statuses[status]++
+	rs.sum += seconds
+	rs.count++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			rs.buckets[i]++
+			break // non-cumulative per-bucket count; summed at render
+		}
+	}
+}
+
+// statusRecorder captures the status code a handler writes so the
+// instrument middleware can label its observations.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps h with request observability: per-route latency and
+// status metrics, and (when cfg.AccessLogger is set) one structured
+// access-log line per request. routeOf resolves the registered mux
+// pattern for labeling, keeping metric cardinality bounded by the route
+// table rather than by raw request paths.
+func (s *Server) instrument(routeOf func(*http.Request) string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		route := routeOf(r)
+		s.httpMetrics.observe(route, rec.status, dur.Seconds())
+		if s.cfg.AccessLogger != nil {
+			line := fmt.Sprintf("method=%s route=%q path=%q status=%d dur=%s",
+				r.Method, route, r.URL.Path, rec.status, dur.Round(time.Microsecond))
+			if name := sessionFromPath(r.URL.Path); name != "" {
+				line += " session=" + strconv.Quote(name)
+			}
+			s.cfg.AccessLogger.Print(line)
+		}
+	})
+}
+
+// sessionFromPath extracts the session name from /v1/sessions/{name}/...
+// paths for access-log enrichment (the outer middleware runs before mux
+// matching, so r.PathValue is not yet populated).
+func sessionFromPath(path string) string {
+	const prefix = "/v1/sessions/"
+	rest, ok := strings.CutPrefix(path, prefix)
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// promWriter accumulates one Prometheus text-format scrape. Families are
+// emitted with # HELP / # TYPE headers in the order written.
+type promWriter struct {
+	b strings.Builder
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(&p.b, "%s%s %s\n", name, labels, formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabel renders one escaped label pair per the exposition format
+// (backslash, quote, and newline escaped inside quoted values).
+func promLabel(key, val string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(val) + `"`
+}
+
+// handleMetrics serves the scrape. It bypasses the limiter (a saturated
+// server must remain scrapeable — that is when the metrics matter most)
+// and reads only atomics and registry snapshots, never a session's
+// evaluation state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := &promWriter{}
+
+	// Per-route HTTP request metrics.
+	s.httpMetrics.mu.Lock()
+	routes := make([]string, 0, len(s.httpMetrics.routes))
+	for route := range s.httpMetrics.routes {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	p.family("wfsd_http_requests_total", "HTTP requests by route and status code.", "counter")
+	for _, route := range routes {
+		rs := s.httpMetrics.routes[route]
+		codes := make([]int, 0, len(rs.statuses))
+		for c := range rs.statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			p.sample("wfsd_http_requests_total",
+				promLabel("route", route)+","+promLabel("code", strconv.Itoa(c)),
+				float64(rs.statuses[c]))
+		}
+	}
+	p.family("wfsd_http_request_duration_seconds", "HTTP request latency by route.", "histogram")
+	for _, route := range routes {
+		rs := s.httpMetrics.routes[route]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += rs.buckets[i]
+			p.sample("wfsd_http_request_duration_seconds_bucket",
+				promLabel("route", route)+","+promLabel("le", formatFloat(ub)), float64(cum))
+		}
+		p.sample("wfsd_http_request_duration_seconds_bucket",
+			promLabel("route", route)+","+promLabel("le", "+Inf"), float64(rs.count))
+		p.sample("wfsd_http_request_duration_seconds_sum", promLabel("route", route), rs.sum)
+		p.sample("wfsd_http_request_duration_seconds_count", promLabel("route", route), float64(rs.count))
+	}
+	s.httpMetrics.mu.Unlock()
+
+	// Answer cache and singleflight.
+	cs := s.cache.Stats()
+	p.family("wfsd_answer_cache_hits_total", "Answer cache hits.", "counter")
+	p.sample("wfsd_answer_cache_hits_total", "", float64(cs.Hits))
+	p.family("wfsd_answer_cache_misses_total", "Answer cache misses.", "counter")
+	p.sample("wfsd_answer_cache_misses_total", "", float64(cs.Misses))
+	p.family("wfsd_answer_cache_entries", "Answer cache current entries.", "gauge")
+	p.sample("wfsd_answer_cache_entries", "", float64(cs.Entries))
+	p.family("wfsd_answer_cache_capacity", "Answer cache capacity in entries.", "gauge")
+	p.sample("wfsd_answer_cache_capacity", "", float64(cs.Capacity))
+	p.family("wfsd_singleflight_shared_total", "Answers served from another request's in-flight computation.", "counter")
+	p.sample("wfsd_singleflight_shared_total", "", float64(s.shared.Load()))
+
+	// Limiter saturation.
+	p.family("wfsd_limiter_in_flight", "Requests currently executing.", "gauge")
+	p.sample("wfsd_limiter_in_flight", "", float64(s.limiter.inFlight.Load()))
+	p.family("wfsd_limiter_waiting", "Requests queued for a concurrency slot.", "gauge")
+	p.sample("wfsd_limiter_waiting", "", float64(s.limiter.waiting.Load()))
+	p.family("wfsd_limiter_max_concurrent", "Concurrency limit (0 = unlimited).", "gauge")
+	p.sample("wfsd_limiter_max_concurrent", "", float64(s.cfg.MaxConcurrent))
+	p.family("wfsd_limiter_rejected_total", "Requests rejected while queued, by reason.", "counter")
+	p.sample("wfsd_limiter_rejected_total", promLabel("reason", "timeout"), float64(s.limiter.timeouts.Load()))
+	p.sample("wfsd_limiter_rejected_total", promLabel("reason", "canceled"), float64(s.limiter.canceled.Load()))
+
+	// Server-level gauges.
+	p.family("wfsd_sessions", "Live sessions.", "gauge")
+	p.sample("wfsd_sessions", "", float64(s.reg.Len()))
+	p.family("wfsd_slow_queries_total", "Uncached queries slower than the slow-query threshold.", "counter")
+	p.sample("wfsd_slow_queries_total", "", float64(s.slowQueries.Load()))
+	p.family("wfsd_uptime_seconds", "Seconds since server start.", "gauge")
+	p.sample("wfsd_uptime_seconds", "", time.Since(s.started).Seconds())
+
+	s.writeSessionMetrics(p)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, p.b.String())
+}
+
+// writeSessionMetrics emits per-session engine counters. Reads go through
+// FactsEpoch and EngineMetrics only — both atomic-backed — so a scrape
+// never forces evaluation or blocks behind one.
+func (s *Server) writeSessionMetrics(p *promWriter) {
+	type sessRow struct {
+		name  string
+		facts int
+		epoch uint64
+		em    engineMetricsRow
+	}
+	var rows []sessRow
+	for _, name := range s.reg.Names() {
+		sess, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		facts, epoch := sess.Sys.FactsEpoch()
+		em := sess.Sys.Metrics().Read()
+		rows = append(rows, sessRow{name, facts, epoch, engineMetricsRow{
+			builds: em.Builds, rebases: em.Rebases,
+			chaseS: float64(em.ChaseNS) / 1e9, groundS: float64(em.GroundNS) / 1e9,
+			condenseS: float64(em.CondenseNS) / 1e9, solveS: float64(em.SolveNS) / 1e9,
+			chaseAtoms: em.ChaseAtoms, chaseInstances: em.ChaseInstances,
+		}})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	emit := func(name, help, typ string, value func(sessRow) float64) {
+		p.family(name, help, typ)
+		for _, row := range rows {
+			p.sample(name, promLabel("session", row.name), value(row))
+		}
+	}
+	emit("wfsd_session_facts", "Database facts per session.", "gauge",
+		func(r sessRow) float64 { return float64(r.facts) })
+	emit("wfsd_session_epoch", "Database epoch per session.", "counter",
+		func(r sessRow) float64 { return float64(r.epoch) })
+	emit("wfsd_session_builds_total", "Model builds per session.", "counter",
+		func(r sessRow) float64 { return float64(r.em.builds) })
+	emit("wfsd_session_rebases_total", "Model builds served by delta-rebase per session.", "counter",
+		func(r sessRow) float64 { return float64(r.em.rebases) })
+	emit("wfsd_session_chase_atoms", "Latest build's chase universe size per session.", "gauge",
+		func(r sessRow) float64 { return float64(r.em.chaseAtoms) })
+	emit("wfsd_session_chase_instances", "Latest build's fired chase instances per session.", "gauge",
+		func(r sessRow) float64 { return float64(r.em.chaseInstances) })
+
+	p.family("wfsd_session_phase_seconds_total", "Cumulative build time per session by pipeline phase.", "counter")
+	for _, row := range rows {
+		for _, ph := range []struct {
+			phase string
+			secs  float64
+		}{
+			{"chase", row.em.chaseS}, {"ground", row.em.groundS},
+			{"condense", row.em.condenseS}, {"solve", row.em.solveS},
+		} {
+			p.sample("wfsd_session_phase_seconds_total",
+				promLabel("session", row.name)+","+promLabel("phase", ph.phase), ph.secs)
+		}
+	}
+}
+
+// engineMetricsRow is a flattened EngineMetricsSnapshot for emission.
+type engineMetricsRow struct {
+	builds, rebases, chaseAtoms, chaseInstances int64
+	chaseS, groundS, condenseS, solveS          float64
+}

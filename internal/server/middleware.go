@@ -8,19 +8,28 @@ import (
 	"log"
 	"net/http"
 	"sync/atomic"
+	"time"
 )
 
 // limiter bounds in-flight requests with a counting semaphore. Requests
-// beyond the bound wait until a slot frees or the client gives up (context
-// cancellation), so a burst degrades to queueing rather than unbounded
-// engine concurrency.
+// beyond the bound queue for a bounded wait (maxWait), after which they
+// are rejected with 429 — unbounded queueing just trades engine overload
+// for goroutine/memory overload while every waiter's client times out
+// anyway. A client that gives up first (context cancellation) gets 503.
+// Saturation is observable: in-flight and queued-waiter gauges plus
+// rejection counters, surfaced in /v1/stats and /metrics.
 type limiter struct {
-	slots    chan struct{} // nil = unlimited
+	slots   chan struct{} // nil = unlimited
+	maxWait time.Duration // 0 = wait unbounded (legacy behavior)
+
 	inFlight atomic.Int64
+	waiting  atomic.Int64 // requests queued for a slot right now
+	timeouts atomic.Int64 // rejected 429 after maxWait
+	canceled atomic.Int64 // client gave up while queued (503)
 }
 
-func newLimiter(max int) *limiter {
-	l := &limiter{}
+func newLimiter(max int, maxWait time.Duration) *limiter {
+	l := &limiter{maxWait: maxWait}
 	if max > 0 {
 		l.slots = make(chan struct{}, max)
 	}
@@ -31,17 +40,46 @@ func (l *limiter) wrap(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if l.slots != nil {
 			select {
-			case l.slots <- struct{}{}:
-				defer func() { <-l.slots }()
-			case <-r.Context().Done():
-				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", r.Context().Err()))
-				return
+			case l.slots <- struct{}{}: // uncontended fast path
+			default:
+				if !l.awaitSlot(w, r) {
+					return
+				}
 			}
+			defer func() { <-l.slots }()
 		}
 		l.inFlight.Add(1)
 		defer l.inFlight.Add(-1)
 		h.ServeHTTP(w, r)
 	})
+}
+
+// awaitSlot queues for a semaphore slot, reporting whether one was
+// acquired; on timeout or client cancellation the rejection response has
+// already been written.
+func (l *limiter) awaitSlot(w http.ResponseWriter, r *http.Request) bool {
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
+	var timeout <-chan time.Time
+	if l.maxWait > 0 {
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	case <-timeout:
+		l.timeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server busy: no capacity within %v", l.maxWait))
+		return false
+	case <-r.Context().Done():
+		l.canceled.Add(1)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", r.Context().Err()))
+		return false
+	}
 }
 
 // recoverPanics converts a handler panic into a 500 instead of killing the

@@ -24,8 +24,19 @@ type Config struct {
 	// DefaultMaxBodyBytes (unlike the sibling fields, there is no
 	// unlimited mode — an unbounded body is a trivial DoS).
 	MaxBodyBytes int64
+	// MaxQueueWait bounds how long a request may queue for a limiter
+	// slot before a 429; 0 means DefaultMaxQueueWait, negative means
+	// wait as long as the client does (the pre-bounded behavior).
+	MaxQueueWait time.Duration
+	// SlowQueryThreshold gates the slow-query log: uncached queries
+	// slower than this log one structured line with the phase
+	// breakdown. 0 disables.
+	SlowQueryThreshold time.Duration
 	// Logger receives panic and lifecycle logs; nil discards them.
 	Logger *log.Logger
+	// AccessLogger receives one structured line per request; nil
+	// disables access logging.
+	AccessLogger *log.Logger
 }
 
 // Serving-layer defaults.
@@ -34,6 +45,7 @@ const (
 	DefaultCacheSize     = 4096
 	DefaultMaxConcurrent = 64
 	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB: program text can be sizeable
+	DefaultMaxQueueWait  = 5 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -58,6 +70,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	switch {
+	case c.MaxQueueWait == 0:
+		c.MaxQueueWait = DefaultMaxQueueWait
+	case c.MaxQueueWait < 0:
+		c.MaxQueueWait = 0 // limiter: 0 = wait unbounded
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -67,24 +85,27 @@ func (c Config) withDefaults() Config {
 // Server is the wfsd serving layer: session registry + answer cache +
 // request limiter, exposed as an http.Handler.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	cache   *Cache
-	flight  flightGroup  // collapses concurrent identical computations
-	shared  atomic.Int64 // results served from an in-flight computation
-	limiter *limiter
-	started time.Time
+	cfg         Config
+	reg         *Registry
+	cache       *Cache
+	flight      flightGroup  // collapses concurrent identical computations
+	shared      atomic.Int64 // results served from an in-flight computation
+	slowQueries atomic.Int64 // uncached queries over SlowQueryThreshold
+	limiter     *limiter
+	httpMetrics *httpMetrics
+	started     time.Time
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.MaxSessions),
-		cache:   NewCache(cfg.CacheSize),
-		limiter: newLimiter(cfg.MaxConcurrent),
-		started: time.Now(),
+		cfg:         cfg,
+		reg:         NewRegistry(cfg.MaxSessions),
+		cache:       NewCache(cfg.CacheSize),
+		limiter:     newLimiter(cfg.MaxConcurrent, cfg.MaxQueueWait),
+		httpMetrics: newHTTPMetrics(),
+		started:     time.Now(),
 	}
 }
 
@@ -92,11 +113,13 @@ func New(cfg Config) *Server {
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler returns the fully-wired HTTP handler: routes inside panic
-// recovery inside the concurrency limiter — except /v1/healthz and
-// /v1/stats, which bypass the limiter so liveness probes and
+// recovery inside the concurrency limiter, with request metrics and
+// access logging outermost so they also see limiter rejections and
+// recovered panics as the status codes clients got. /v1/healthz,
+// /v1/stats, and /metrics bypass the limiter so liveness probes and
 // observability keep answering while every slot is occupied by slow
 // evaluations (a saturated-but-healthy server must not be restarted by
-// its orchestrator).
+// its orchestrator, and saturation is exactly when scrapes matter).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
@@ -115,6 +138,21 @@ func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	root.HandleFunc("GET /v1/stats", s.handleServerStats)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.Handle("/", limited)
-	return recoverPanics(s.cfg.Logger, root)
+
+	// routeOf resolves the registered mux pattern for metric labels:
+	// the outer middleware runs before either mux has matched, so look
+	// the pattern up the way ServeMux itself will. Requests falling
+	// through root's "/" are resolved against the inner route table.
+	routeOf := func(r *http.Request) string {
+		if _, pat := root.Handler(r); pat != "" && pat != "/" {
+			return pat
+		}
+		if _, pat := mux.Handler(r); pat != "" {
+			return pat
+		}
+		return "unmatched"
+	}
+	return s.instrument(routeOf, recoverPanics(s.cfg.Logger, root))
 }

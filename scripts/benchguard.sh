@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# benchguard.sh — fail when the hot query path regresses.
+#
+# Runs BenchmarkParallelAnswer/snapshot (the warm-snapshot answer path,
+# the number this repo's observability work promised not to tax) a few
+# times, takes the best run to squeeze out scheduler noise, and compares
+# it against the committed baseline in BENCH_trace.json
+# (parallel_answer_instrumented_ns_per_op). More than 15% over the
+# baseline fails.
+#
+# The baseline is machine-specific; CI runner classes close to the
+# recorded CPU make the absolute comparison meaningful, and the 15%
+# slack absorbs the rest. Re-record BENCH_trace.json when the runner
+# class or the intended performance changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE=$(grep -o '"parallel_answer_instrumented_ns_per_op": *[0-9]*' BENCH_trace.json | grep -o '[0-9]*$')
+if [ -z "$BASE" ]; then
+    echo "benchguard: no baseline in BENCH_trace.json" >&2
+    exit 1
+fi
+
+OUT=${1:-bench-parallel.txt}
+go test -bench='ParallelAnswer/snapshot' -benchtime=500ms -count=3 -run='^$' . | tee "$OUT"
+
+MIN=$(awk '$1 ~ /^BenchmarkParallelAnswer/ {print $(NF-1)}' "$OUT" | sort -n | head -1)
+if [ -z "$MIN" ]; then
+    echo "benchguard: no benchmark output parsed from $OUT" >&2
+    exit 1
+fi
+
+awk -v min="$MIN" -v base="$BASE" 'BEGIN {
+    limit = base * 1.15
+    printf "benchguard: measured %.1f ns/op, baseline %d ns/op, limit %.1f ns/op (+15%%)\n", min, base, limit
+    if (min > limit) {
+        printf "benchguard: FAIL — hot query path regressed %.1f%%\n", (min / base - 1) * 100
+        exit 1
+    }
+    printf "benchguard: ok (%.1f%% vs baseline)\n", (min / base - 1) * 100
+}'

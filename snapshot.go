@@ -3,6 +3,7 @@ package wfs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/ground"
 	"repro/internal/program"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // maxSnapshotChain bounds how many consecutive epochs may rebase their
@@ -62,6 +64,11 @@ type Snapshot struct {
 	safeTermLen int
 	safePredLen int
 
+	// metrics points at the owning System's always-on counters; rung
+	// builds fold their phase spans into it (EngineMetrics.observeBuild).
+	// nil in tests that construct snapshots directly.
+	metrics *EngineMetrics
+
 	statsOnce sync.Once
 	stats     Stats
 }
@@ -89,13 +96,28 @@ type snapModel struct {
 	m    *core.Model
 }
 
-func (sm *snapModel) get(s *Snapshot) *core.Model {
+// get returns (building at most once) the rung's model. tr, when
+// non-nil, is the caller's trace span: whichever goroutine wins the
+// sync.Once records the build's phase tree under it (losers of the race
+// observe only their wait; see Snapshot.rungAt). A build span is
+// recorded even with tr nil — standalone, solely to feed the System's
+// always-on EngineMetrics — which costs a handful of time.Now calls on
+// an operation that chases and solves a whole model.
+func (sm *snapModel) get(s *Snapshot, tr *trace.Span) *core.Model {
 	sm.once.Do(func() {
+		build := tr.Child("build-depth-" + strconv.Itoa(sm.depth))
+		if build == nil {
+			build = trace.New("build-depth-" + strconv.Itoa(sm.depth))
+		}
+		rebased := false
 		defer func() {
 			sm.reb.Store(nil) // release the previous-epoch chain
 			sm.done.Store(true)
+			build.End()
+			s.metrics.observeBuild(build, rebased)
 		}()
-		if m := sm.rebase(s); m != nil {
+		if m := sm.rebase(s, build); m != nil {
+			rebased = true
 			sm.m = m
 			return
 		}
@@ -105,17 +127,19 @@ func (sm *snapModel) get(s *Snapshot) *core.Model {
 			// overlay over its (frozen) store. IDs carry over, so the
 			// extended chase and grounding append to frozen state
 			// without touching it.
-			pm := sm.prev.get(s)
+			pm := sm.prev.get(s, tr)
 			ost := atom.NewOverlay(pm.Chase.Prog.Store)
-			m = core.ExtendModel(pm, s.prog.WithStore(ost), s.opts, sm.depth)
+			m = core.ExtendModelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, build)
 			ost.Freeze()
 		} else {
 			ost := atom.NewOverlay(s.store)
 			eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
-			m = eng.EvaluateAtDepth(sm.depth)
+			m = eng.EvaluateAtDepthTraced(sm.depth, build)
 			ost.Freeze()
 		}
+		endPre := build.Phase("precompute")
 		m.Precompute()
+		endPre()
 		sm.m = m
 	})
 	return sm.m
@@ -132,7 +156,7 @@ func (sm *snapModel) get(s *Snapshot) *core.Model {
 // walk then simply ends and get falls back to a fresh build.) Returns
 // nil when no rebase source exists, leaving get on its fresh-build
 // paths.
-func (sm *snapModel) rebase(s *Snapshot) *core.Model {
+func (sm *snapModel) rebase(s *Snapshot, tr *trace.Span) *core.Model {
 	for r := sm.reb.Load(); r != nil; r = r.reb.Load() {
 		if !r.done.Load() || r.m == nil || sm.depth != r.depth {
 			continue
@@ -147,9 +171,11 @@ func (sm *snapModel) rebase(s *Snapshot) *core.Model {
 		if !ok {
 			return nil
 		}
-		m := core.RebaseModel(pm, s.prog.WithStore(ost), s.opts, sm.depth, db)
+		m := core.RebaseModelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, db, tr)
 		ost.Freeze()
+		endPre := tr.Phase("precompute")
 		m.Precompute()
+		endPre()
 		return m
 	}
 	return nil
@@ -201,7 +227,8 @@ func (s *Snapshot) translateDB(to *atom.Store) (program.Database, bool) {
 // inherited, since a rebased rung may serve from any ancestor's chain.
 // Callers (System.Snapshot) hold the system lock.
 func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
-	queries []*program.Query, opts core.Options, epoch uint64, prevSnap *Snapshot) *Snapshot {
+	queries []*program.Query, opts core.Options, epoch uint64, prevSnap *Snapshot,
+	metrics *EngineMetrics) *Snapshot {
 	opts = opts.WithDefaults()
 	s := &Snapshot{
 		store:   store,
@@ -210,6 +237,7 @@ func newSnapshot(store *atom.Store, prog *program.Program, db program.Database,
 		queries: queries,
 		opts:    opts,
 		epoch:   epoch,
+		metrics: metrics,
 	}
 	if prevSnap != nil {
 		s.chain = prevSnap.chain + 1
@@ -286,12 +314,13 @@ func queryWithin(cq *program.Query, maxPred, maxTerm int) bool {
 	return within(cq.Pos) && within(cq.Neg)
 }
 
-// answerLadder runs core.AdaptiveAnswer over the snapshot's cached rungs:
-// the same deepening/stability algorithm as Engine.Answer, but each depth
-// resolves to a model built at most once per snapshot. compile resolves
-// the query against each rung's ID space.
-func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error)) (Truth, *core.AnswerStats, error) {
-	return core.AdaptiveAnswer(s.opts, s.rungAt, compile)
+// answerLadder runs the adaptive ladder over the snapshot's cached
+// rungs: the same deepening/stability algorithm as Engine.Answer, but
+// each depth resolves to a model built at most once per snapshot.
+// compile resolves the query against each rung's ID space; tr (nil on
+// the hot path) records the per-depth phase breakdown.
+func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error), tr *trace.Span) (Truth, *core.AnswerStats, error) {
+	return core.AdaptiveAnswerTraced(s.opts, s.rungAt, compile, tr)
 }
 
 // rungAt returns (building if necessary) the ladder model at the given
@@ -299,8 +328,10 @@ func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error
 // AdaptiveAnswer iterates with, so every requested depth has a rung; a
 // mismatch (which would indicate option drift between the snapshot and
 // the ladder) is reported as an error through answerLadder rather than a
-// panic, so it can never crash a serving process.
-func (s *Snapshot) rungAt(depth int) (*core.Model, error) {
+// panic, so it can never crash a serving process. tr, when non-nil,
+// receives the rung's build phase tree — or only the wait, if another
+// goroutine is mid-build (the sync.Once winner records the work).
+func (s *Snapshot) rungAt(depth int, tr *trace.Span) (*core.Model, error) {
 	if len(s.rungs) == 0 || s.opts.AdaptiveStep <= 0 {
 		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (empty ladder)", depth)
 	}
@@ -309,7 +340,7 @@ func (s *Snapshot) rungAt(depth int) (*core.Model, error) {
 		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (schedule start %d step %d × %d rungs)",
 			depth, s.opts.AdaptiveStart, s.opts.AdaptiveStep, len(s.rungs))
 	}
-	return s.rungs[i].get(s), nil
+	return s.rungs[i].get(s, tr), nil
 }
 
 // Answer evaluates a prepared NBCQ by adaptive deepening and returns the
@@ -323,14 +354,47 @@ func (s *Snapshot) Answer(q *Query) (Truth, error) {
 func (s *Snapshot) AnswerWithStats(q *Query) (Truth, *core.AnswerStats, error) {
 	return s.answerLadder(func(m *core.Model) (*program.Query, error) {
 		return s.compileFor(q, m)
-	})
+	}, nil)
+}
+
+// TraceAnswer is Answer recording a detailed evaluation trace (see
+// System.TraceAnswer). Rungs already materialized on this snapshot
+// appear as match-only depth spans; a first traced query after a write
+// shows the full rebase/build cost it actually paid.
+func (s *Snapshot) TraceAnswer(q *Query) (Truth, *core.AnswerStats, *trace.EvalTrace, error) {
+	return s.TraceAnswerDetail(q, true)
+}
+
+// TraceAnswerDetail is TraceAnswer with the instrumentation level under
+// caller control: detailed=false records only the coarse phase tree (no
+// per-SCC timings, no per-depth frontier profile), cheap enough to run
+// on every uncached query for threshold-gated slow-query logging.
+func (s *Snapshot) TraceAnswerDetail(q *Query, detailed bool) (Truth, *core.AnswerStats, *trace.EvalTrace, error) {
+	root := trace.New("query")
+	if detailed {
+		root = trace.NewDetailed("query")
+	}
+	t, st, err := s.answerTraced(q, root)
+	return t, st, root.Trace(), err
+}
+
+// answerTraced runs the traced ladder under an already-open root span
+// (shared with System.TraceAnswer, whose root also covers parse and
+// snapshot acquisition).
+func (s *Snapshot) answerTraced(q *Query, root *trace.Span) (Truth, *core.AnswerStats, error) {
+	ladder := root.Child("ladder")
+	t, st, err := s.answerLadder(func(m *core.Model) (*program.Query, error) {
+		return s.compileFor(q, m)
+	}, ladder)
+	ladder.End()
+	return t, st, err
 }
 
 // answerCompiled runs the ladder for a query compiled at load time against
 // the system's root store (embedded '?' queries). Such queries reference
 // only pre-snapshot IDs, valid against every model.
 func (s *Snapshot) answerCompiled(cq *program.Query) (Truth, error) {
-	t, _, err := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil })
+	t, _, err := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil }, nil)
 	return t, err
 }
 
@@ -352,7 +416,7 @@ func (s *Snapshot) AnswerAll() []QueryResult {
 // first return lists the variable names. Selection runs against the model
 // at the configured depth.
 func (s *Snapshot) Select(q *Query) ([]string, [][]string, error) {
-	m := s.base.get(s)
+	m := s.base.get(s, nil)
 	cq, err := s.compileFor(q, m)
 	if err != nil {
 		return nil, nil, err
@@ -388,7 +452,7 @@ func (s *Snapshot) groundAtom(m *core.Model, src string) (atom.AtomID, *atom.Sto
 // TruthOf returns the truth of a ground atom written in surface syntax,
 // e.g. TruthOf("win(a)"), in the configured-depth model.
 func (s *Snapshot) TruthOf(atomSrc string) (Truth, error) {
-	m := s.base.get(s)
+	m := s.base.get(s, nil)
 	a, _, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return False, err
@@ -401,7 +465,7 @@ func (s *Snapshot) TruthOf(atomSrc string) (Truth, error) {
 // have forward proofs); the error reports malformed input. The two are
 // distinct: a parse failure is an error, not "false".
 func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
-	m := s.base.get(s)
+	m := s.base.get(s, nil)
 	a, ost, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return "", false, err
@@ -416,7 +480,7 @@ func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
 
 // WCheck runs the goal-directed membership check on a ground atom.
 func (s *Snapshot) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
-	m := s.base.get(s)
+	m := s.base.get(s, nil)
 	a, _, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return False, nil, err
@@ -428,7 +492,7 @@ func (s *Snapshot) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
 // CheckConstraints evaluates the program's negative constraints and EGDs
 // against the configured-depth model.
 func (s *Snapshot) CheckConstraints() []core.Violation {
-	return s.base.get(s).CheckConstraints()
+	return s.base.get(s, nil).CheckConstraints()
 }
 
 // TrueFacts renders all true atoms of the model, sorted.
@@ -445,7 +509,7 @@ func (s *Snapshot) UndefinedFacts() []string { return s.renderFacts(ground.Undef
 // system lock is held — and preallocates the output from a filtered count
 // so rendering large models does not repeatedly regrow the slice.
 func (s *Snapshot) renderFacts(tv Truth) []string {
-	m := s.base.get(s)
+	m := s.base.get(s, nil)
 	st := m.Chase.Prog.Store
 	usable := func(g atom.AtomID) bool {
 		return m.UsableDepth < 0 || m.Chase.Depth(g) <= m.UsableDepth
@@ -470,7 +534,7 @@ func (s *Snapshot) renderFacts(tv Truth) []string {
 // once per snapshot and cached; concurrent callers share it.
 func (s *Snapshot) Stats() Stats {
 	s.statsOnce.Do(func() {
-		m := s.base.get(s)
+		m := s.base.get(s, nil)
 		_, strat := s.prog.Stratify()
 		delta := core.DeltaForSchema(s.store)
 		s.stats = Stats{

@@ -68,6 +68,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/program"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // Truth is the three-valued truth of the well-founded semantics.
@@ -110,6 +111,10 @@ type System struct {
 	// the next Snapshot call can rebase its evaluated rungs onto the
 	// delta (see newSnapshot) instead of rebuilding them from scratch.
 	prevSnap *Snapshot
+
+	// metrics accumulates always-on build observability across every
+	// epoch's snapshots (see EngineMetrics); read via Metrics.
+	metrics EngineMetrics
 }
 
 // Load parses and compiles a source unit (facts, rules, constraints, EGDs,
@@ -160,7 +165,7 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	if prev != nil && prev.chain+1 > maxSnapshotChain {
 		prev = nil
 	}
-	snap := newSnapshot(store, s.prog, s.db, s.queries, s.opts, s.epoch, prev)
+	snap := newSnapshot(store, s.prog, s.db, s.queries, s.opts, s.epoch, prev, &s.metrics)
 	s.prevSnap = nil
 	s.snap.Store(snap)
 	return snap, nil
@@ -271,6 +276,28 @@ func (s *System) AnswerWithStats(query string) (Truth, *core.AnswerStats, error)
 		return False, nil, err
 	}
 	return s.snapshot().AnswerWithStats(q)
+}
+
+// TraceAnswer is Answer recording a detailed evaluation trace: the
+// returned EvalTrace is the phase tree of everything the query paid for —
+// parse, snapshot acquisition, and each ladder rung with its chase /
+// reground / condense / solve breakdown (rungs already materialized by
+// earlier queries appear as cheap match-only spans). The trace is
+// per-call state; tracing one query never slows concurrent untraced
+// ones.
+func (s *System) TraceAnswer(query string) (Truth, *core.AnswerStats, *trace.EvalTrace, error) {
+	root := trace.NewDetailed("query")
+	endParse := root.Phase("parse")
+	q, err := Prepare(query)
+	endParse()
+	if err != nil {
+		return False, nil, root.Trace(), err
+	}
+	endSnap := root.Phase("snapshot")
+	snap := s.snapshot()
+	endSnap()
+	t, st, err := snap.answerTraced(q, root)
+	return t, st, root.Trace(), err
 }
 
 // QueryResult pairs an embedded query with its answer. Err reports a
