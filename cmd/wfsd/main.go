@@ -9,7 +9,17 @@
 //	wfsd [-addr :8080] [-max-sessions N] [-cache-size N]
 //	     [-max-concurrent N] [-max-queue-wait 5s] [-slow-query 0]
 //	     [-access-log] [-pprof-addr :6060]
+//	     [-data-dir DIR] [-checkpoint-every N] [-fsync=true]
 //	     [-preload prog.dl [-preload-name default]]
+//
+// Durability: -data-dir enables a per-session write-ahead log of
+// mutation deltas plus periodic snapshot checkpoints under DIR. Every
+// mutation is serialized (and, with -fsync, synced) to disk before it
+// commits, sessions persisted by a previous process are recovered at
+// startup — a SIGKILLed server restarts to the exact pre-crash epoch,
+// with torn final records dropped — and graceful shutdown writes final
+// checkpoints so a clean restart replays zero records.
+// -checkpoint-every bounds the replay tail in records.
 //
 // Observability: GET /metrics serves Prometheus text metrics,
 // ?trace=1 on the query endpoint returns a per-phase evaluation trace,
@@ -36,6 +46,7 @@ import (
 
 	wfs "repro"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,6 +62,10 @@ func main() {
 		preload       = flag.String("preload", "", "program file to load at startup")
 		preloadName   = flag.String("preload-name", "default", "session name for -preload")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+		dataDir       = flag.String("data-dir", "", "enable durability: write-ahead log + checkpoints under this directory (empty = in-memory only)")
+		ckptEvery     = flag.Int("checkpoint-every", wal.DefaultCheckpointRecords, "checkpoint a session after this many logged records (-1 = only on byte threshold/shutdown)")
+		ckptBytes     = flag.Int64("checkpoint-bytes", wal.DefaultCheckpointBytes, "checkpoint a session after this many logged bytes (-1 = only on record threshold/shutdown)")
+		fsync         = flag.Bool("fsync", true, "fsync the write-ahead log on every mutation (durable against power loss, not just crashes)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wfsd: ", log.LstdFlags)
@@ -67,15 +82,34 @@ func main() {
 		cfg.AccessLogger = log.New(os.Stderr, "wfsd.access: ", log.LstdFlags)
 	}
 	srv := server.New(cfg)
+	if *dataDir != "" {
+		st, err := srv.OpenWAL(*dataDir, wal.Options{
+			Fsync:             *fsync,
+			CheckpointRecords: *ckptEvery,
+			CheckpointBytes:   *ckptBytes,
+		})
+		if err != nil {
+			logger.Fatalf("wal: %v", err)
+		}
+		logger.Printf("wal: data-dir=%s fsync=%v — recovered %d sessions (%d records replayed, %d torn tails repaired, %d skipped) in %s",
+			*dataDir, *fsync, st.Sessions, st.ReplayedRecords, st.TornTails, st.Skipped, st.Duration.Round(time.Millisecond))
+	}
 	if *preload != "" {
 		src, err := os.ReadFile(*preload)
 		if err != nil {
 			logger.Fatalf("preload: %v", err)
 		}
-		if _, err := srv.Registry().Create(*preloadName, string(src), wfs.Options{}); err != nil {
+		var exists *server.ErrSessionExists
+		if _, err := srv.Registry().Create(*preloadName, string(src), wfs.Options{}); errors.As(err, &exists) && *dataDir != "" {
+			// Recovery already rebuilt this session from its log; the
+			// durable state (including mutations since the original
+			// preload) wins over re-loading the file.
+			logger.Printf("preload: session %q recovered from data dir, keeping recovered state", *preloadName)
+		} else if err != nil {
 			logger.Fatalf("preload %s: %v", *preload, err)
+		} else {
+			logger.Printf("preloaded %s as session %q", *preload, *preloadName)
 		}
-		logger.Printf("preloaded %s as session %q", *preload, *preloadName)
 	}
 
 	httpSrv := &http.Server{
@@ -116,6 +150,15 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Printf("shutdown: %v", err)
 			os.Exit(1)
+		}
+		// After the drain: final checkpoints + fsync so a clean restart
+		// replays zero records.
+		if err := srv.Close(); err != nil {
+			logger.Printf("shutdown: wal: %v", err)
+			os.Exit(1)
+		}
+		if *dataDir != "" {
+			logger.Printf("wal: final checkpoints written")
 		}
 		fmt.Fprintln(os.Stderr, "wfsd: bye")
 	}

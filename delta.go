@@ -36,6 +36,60 @@ func (f factSpec) String() string {
 // NewDelta returns an empty mutation batch.
 func NewDelta() *Delta { return &Delta{} }
 
+// FactRef is the store-independent form of one ground fact: a predicate
+// name and constant arguments as plain strings. It is the wire-stable
+// currency of the durability layer — commit hooks receive mutation
+// batches as FactRefs, DumpState renders the database as FactRefs, and
+// Restore rebuilds one from them — so a fact logged by one process can be
+// replayed by another with a differently-populated store.
+type FactRef struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args,omitempty"`
+}
+
+// Mutations returns the delta's scheduled additions and retractions as
+// store-independent fact references, in scheduling order. The result
+// round-trips: feeding it back through NewDelta().Add(...)/Retract(...)
+// rebuilds an equivalent delta, which is how write-ahead-log replay
+// re-applies a logged mutation batch.
+func (d *Delta) Mutations() (adds, retracts []FactRef) {
+	return factRefs(d.adds), factRefs(d.retracts)
+}
+
+// factRefs converts internal fact specs to their exported form. The
+// argument slices are shared, not copied; receivers must treat them as
+// read-only.
+func factRefs(specs []factSpec) []FactRef {
+	if len(specs) == 0 {
+		return nil
+	}
+	out := make([]FactRef, len(specs))
+	for i, f := range specs {
+		out[i] = FactRef{Pred: f.pred, Args: f.args}
+	}
+	return out
+}
+
+// CommitHook observes a validated mutation batch immediately before it
+// commits. It runs under the system's write lock, after the whole batch
+// has validated and before any state changes: returning an error rejects
+// the mutation with the database untouched, which is exactly the
+// log-then-commit ordering a write-ahead log needs (serialize and fsync
+// the batch durably, then let the in-memory commit proceed). epoch is the
+// epoch the batch will commit at (current epoch + 1). The hook must not
+// call back into the System (the lock is held) and must not retain or
+// mutate the argument slices beyond the call.
+type CommitHook func(epoch uint64, adds, retracts []FactRef) error
+
+// SetCommitHook installs h as the system's commit hook (nil removes it).
+// Every mutation path — Apply, AddFact, RetractFact, LoadCSV — funnels
+// through the hook.
+func (s *System) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitHook = h
+}
+
 // Add schedules the ground fact pred(args...) for addition, creating the
 // predicate on apply if needed. Returns d for chaining.
 func (d *Delta) Add(pred string, args ...string) *Delta {
@@ -166,6 +220,15 @@ func (s *System) applyLocked(adds, retracts []factSpec) error {
 				f, f.pred, len(f.args), prev)
 		} else {
 			newPreds[f.pred] = len(f.args)
+		}
+	}
+	// Durability point: the batch is fully validated, nothing has
+	// interned or committed. A hook failure (e.g. the WAL could not
+	// fsync) rejects the mutation with the database untouched; a hook
+	// success guarantees the batch is durable before it becomes visible.
+	if s.commitHook != nil {
+		if err := s.commitHook(s.epoch+1, factRefs(adds), factRefs(retracts)); err != nil {
+			return fmt.Errorf("wfs: commit hook: %w", err)
 		}
 	}
 	added := make([]atom.AtomID, 0, len(adds))

@@ -274,6 +274,38 @@ type ServerStatsResponse struct {
 	MaxQueueWaitMS   int64   `json:"max_queue_wait_ms"` // 0 = unbounded
 	SlowQueries      int64   `json:"slow_queries"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
+	// WAL reports durability state; absent when the server runs without
+	// a data directory.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALBucket is one fsync-latency histogram bucket; LESeconds -1 marks
+// the overflow bucket.
+type WALBucket struct {
+	LESeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// WALStats reports the write-ahead-log/checkpoint subsystem: append and
+// fsync volume on the mutation path, checkpoint activity, and what
+// startup recovery replayed.
+type WALStats struct {
+	AppendedRecords    int64       `json:"appended_records"`
+	AppendedBytes      int64       `json:"appended_bytes"`
+	AppendErrors       int64       `json:"append_errors"`
+	Fsyncs             int64       `json:"fsyncs"`
+	FsyncTotalMS       float64     `json:"fsync_total_ms"`
+	FsyncHistogram     []WALBucket `json:"fsync_histogram"`
+	Checkpoints        int64       `json:"checkpoints"`
+	CheckpointFailures int64       `json:"checkpoint_failures"`
+	// OldestCheckpointAgeSeconds is the age of the most-overdue session
+	// checkpoint — an upper bound on how much replay a crash right now
+	// would cost.
+	OldestCheckpointAgeSeconds float64 `json:"oldest_checkpoint_age_seconds"`
+	RecoveredSessions          int     `json:"recovered_sessions"`
+	ReplayedRecords            int     `json:"replayed_records"`
+	ReplayDurationMS           float64 `json:"replay_duration_ms"`
+	TornTails                  int64   `json:"torn_tails"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -27,6 +27,7 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		MaxQueueWaitMS:     s.cfg.MaxQueueWait.Milliseconds(),
 		SlowQueries:        s.slowQueries.Load(),
 		UptimeSeconds:      time.Since(s.started).Seconds(),
+		WAL:                s.walStats(),
 	})
 }
 

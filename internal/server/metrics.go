@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // This file is wfsd's zero-dependency metrics surface: per-route request
@@ -237,10 +239,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("wfsd_uptime_seconds", "Seconds since server start.", "gauge")
 	p.sample("wfsd_uptime_seconds", "", time.Since(s.started).Seconds())
 
+	s.writeWALMetrics(p)
 	s.writeSessionMetrics(p)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, p.b.String())
+}
+
+// writeWALMetrics emits the durability families. All counters are
+// atomics on the wal.Metrics set; nothing here touches a session log's
+// lock, so a scrape never stalls behind an fsync.
+func (s *Server) writeWALMetrics(p *promWriter) {
+	if s.wal == nil {
+		return
+	}
+	m := s.wal.Metrics().Read()
+	p.family("wfsd_wal_appended_records_total", "Delta records appended to the write-ahead log.", "counter")
+	p.sample("wfsd_wal_appended_records_total", "", float64(m.AppendedRecords))
+	p.family("wfsd_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", "counter")
+	p.sample("wfsd_wal_appended_bytes_total", "", float64(m.AppendedBytes))
+	p.family("wfsd_wal_append_errors_total", "Mutations rejected because their WAL append failed.", "counter")
+	p.sample("wfsd_wal_append_errors_total", "", float64(m.AppendErrors))
+
+	p.family("wfsd_wal_fsync_duration_seconds", "WAL fsync latency on the mutation path.", "histogram")
+	cum := int64(0)
+	for i, ub := range wal.FsyncBuckets {
+		cum += m.FsyncBuckets[i]
+		p.sample("wfsd_wal_fsync_duration_seconds_bucket", promLabel("le", formatFloat(ub)), float64(cum))
+	}
+	p.sample("wfsd_wal_fsync_duration_seconds_bucket", promLabel("le", "+Inf"), float64(m.Fsyncs))
+	p.sample("wfsd_wal_fsync_duration_seconds_sum", "", float64(m.FsyncNS)/1e9)
+	p.sample("wfsd_wal_fsync_duration_seconds_count", "", float64(m.Fsyncs))
+
+	p.family("wfsd_wal_checkpoints_total", "Snapshot checkpoints written (including initial per-session ones).", "counter")
+	p.sample("wfsd_wal_checkpoints_total", "", float64(m.Checkpoints))
+	p.family("wfsd_wal_checkpoint_failures_total", "Checkpoint attempts that failed.", "counter")
+	p.sample("wfsd_wal_checkpoint_failures_total", "", float64(m.CheckpointFailures))
+
+	p.family("wfsd_wal_recovered_sessions", "Sessions rebuilt from the log at startup.", "gauge")
+	p.sample("wfsd_wal_recovered_sessions", "", float64(s.recovery.Sessions))
+	p.family("wfsd_wal_replayed_records_total", "Delta records replayed during startup recovery.", "counter")
+	p.sample("wfsd_wal_replayed_records_total", "", float64(s.recovery.ReplayedRecords))
+	p.family("wfsd_wal_replay_duration_seconds", "Startup recovery duration (checkpoint load + replay).", "gauge")
+	p.sample("wfsd_wal_replay_duration_seconds", "", s.recovery.Duration.Seconds())
+	p.family("wfsd_wal_torn_tails_total", "Torn/corrupt log tails dropped during recovery.", "counter")
+	p.sample("wfsd_wal_torn_tails_total", "", float64(m.TornTails))
+
+	p.family("wfsd_wal_last_checkpoint_age_seconds", "Seconds since each session's newest checkpoint.", "gauge")
+	for _, name := range s.reg.Names() {
+		if sess, err := s.reg.Get(name); err == nil && sess.wlog != nil {
+			p.sample("wfsd_wal_last_checkpoint_age_seconds", promLabel("session", name),
+				time.Since(sess.wlog.LastCheckpoint()).Seconds())
+		}
+	}
 }
 
 // writeSessionMetrics emits per-session engine counters. Reads go through

@@ -2,12 +2,14 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	wfs "repro"
+	"repro/internal/wal"
 )
 
 // Session is one named, loaded program served by wfsd. The embedded
@@ -21,6 +23,15 @@ type Session struct {
 	Name      string
 	CreatedAt time.Time
 	Sys       *wfs.System
+
+	// Durability state (nil wlog when the server runs without a data
+	// dir). src and opts are retained so checkpoints can persist the
+	// exact compilation inputs; ckptBusy single-flights the background
+	// checkpointer so a burst of mutations schedules at most one.
+	src      string
+	opts     wfs.Options
+	wlog     *wal.SessionLog
+	ckptBusy atomic.Bool
 
 	// id is unique across all sessions ever created in this process,
 	// including recreations under a reused name. Cache keys embed it
@@ -42,6 +53,13 @@ type Registry struct {
 	sessions    map[string]*Session
 	maxSessions int
 	now         func() time.Time // injectable for tests
+
+	// Durability (nil wal = in-memory only): session creation writes the
+	// initial checkpoint, every mutation appends to the session's log via
+	// a commit hook, and deletion removes the log. Set once by
+	// Server.OpenWAL before the listener starts, never mutated after.
+	wal    *wal.Manager
+	logger *log.Logger
 }
 
 // NewRegistry returns an empty registry bounded to maxSessions.
@@ -133,8 +151,96 @@ func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) 
 	if err != nil {
 		return nil, err
 	}
-	s = &Session{Name: name, CreatedAt: r.now(), Sys: sys, id: sessionIDs.Add(1)}
+	sess := &Session{Name: name, CreatedAt: r.now(), Sys: sys, src: src, opts: opts, id: sessionIDs.Add(1)}
+	if r.wal != nil {
+		// The initial checkpoint IS the durable "source load" record:
+		// program text, options, the database as loaded, epoch 0. It is
+		// fsynced before the session becomes visible, so a crash right
+		// after a 201 recovers the session.
+		facts, epoch := sys.DumpState()
+		lg, err := r.wal.Create(name, wal.Checkpoint{
+			Source: src, Options: opts, Epoch: epoch, Facts: facts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sess.wlog = lg
+		r.attachWAL(sess)
+	}
+	s = sess
 	return s, nil
+}
+
+// attachWAL installs the session's commit hook: serialize and (per the
+// manager's fsync option) sync every validated mutation batch to the
+// session log BEFORE the in-memory commit — a log failure rejects the
+// mutation — and schedule a background checkpoint when the un-
+// checkpointed log crosses its threshold.
+func (r *Registry) attachWAL(sess *Session) {
+	sess.Sys.SetCommitHook(func(epoch uint64, adds, retracts []wfs.FactRef) error {
+		if err := sess.wlog.Append(epoch, adds, retracts); err != nil {
+			return err
+		}
+		if sess.wlog.NeedCheckpoint() && sess.ckptBusy.CompareAndSwap(false, true) {
+			go func() {
+				defer sess.ckptBusy.Store(false)
+				// The dump inside blocks on the system read lock until
+				// the triggering mutation commits; rotation has already
+				// redirected its record into the fresh segment.
+				if err := r.checkpoint(sess); err != nil {
+					r.logger.Printf("wal: background checkpoint of session %q: %v", sess.Name, err)
+				}
+			}()
+		}
+		return nil
+	})
+}
+
+// checkpoint writes one full-state checkpoint of the session.
+func (r *Registry) checkpoint(sess *Session) error {
+	return sess.wlog.Checkpoint(func() wal.Checkpoint {
+		facts, epoch := sess.Sys.DumpState()
+		return wal.Checkpoint{Source: sess.src, Options: sess.opts, Epoch: epoch, Facts: facts}
+	})
+}
+
+// CheckpointAll writes a final checkpoint for every live session — the
+// graceful-shutdown path: after it, a clean restart replays zero records.
+func (r *Registry) CheckpointAll() error {
+	if r.wal == nil {
+		return nil
+	}
+	var firstErr error
+	for _, name := range r.Names() {
+		sess, err := r.Get(name)
+		if err != nil || sess.wlog == nil {
+			continue
+		}
+		if err := r.checkpoint(sess); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// adopt registers a session recovered from the write-ahead log, applying
+// the same name/capacity rules as Create. Called by Server.OpenWAL before
+// the listener starts, so there is no create/adopt race in practice; the
+// locking makes it safe regardless.
+func (r *Registry) adopt(sess *Session) error {
+	if err := validateName(sess.Name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[sess.Name]; ok {
+		return &ErrSessionExists{Name: sess.Name}
+	}
+	if r.maxSessions > 0 && len(r.sessions) >= r.maxSessions {
+		return &ErrTooManySessions{Max: r.maxSessions}
+	}
+	r.sessions[sess.Name] = sess
+	return nil
 }
 
 // Get returns the named session.
@@ -149,15 +255,24 @@ func (r *Registry) Get(name string) (*Session, error) {
 }
 
 // Delete removes the named session, returning it (nil if absent) so
-// callers can purge per-session state keyed by its ID.
+// callers can purge per-session state keyed by its ID. With durability
+// enabled, the session's log directory is removed too (outside the
+// registry lock — directory removal is IO), making the deletion survive
+// restarts.
 func (r *Registry) Delete(name string) *Session {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s, ok := r.sessions[name]
 	if !ok || s == nil {
+		r.mu.Unlock()
 		return nil
 	}
 	delete(r.sessions, name)
+	r.mu.Unlock()
+	if s.wlog != nil {
+		if err := r.wal.Remove(name); err != nil {
+			r.logger.Printf("wal: %v", err)
+		}
+	}
 	return s
 }
 

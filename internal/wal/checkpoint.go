@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	wfs "repro"
+)
+
+// Checkpoint is one full-state snapshot of a session: everything needed
+// to rebuild a warm system without the log — the program source and
+// engine options (so the session compiles identically), the complete
+// database as store-independent facts, and the epoch the dump was taken
+// at. Replay then applies only the delta records with epoch > Epoch.
+//
+// The payload is JSON inside the same CRC frame as log records: a
+// checkpoint torn by a crash mid-write fails validation and recovery
+// falls back to the previous one (checkpoints are written to a temp file
+// and renamed into place, so the previous one is never destroyed first).
+type Checkpoint struct {
+	Name              string        `json:"name"`
+	Source            string        `json:"source"`
+	Options           wfs.Options   `json:"options"`
+	Epoch             uint64        `json:"epoch"`
+	Facts             []wfs.FactRef `json:"facts"`
+	WrittenAtUnixNano int64         `json:"written_at_unix_nano"`
+}
+
+const (
+	segSuffix  = ".wal"
+	ckptSuffix = ".ckpt"
+	ckptTmp    = "ckpt.tmp"
+)
+
+// segName / ckptName render file names whose lexical order is epoch
+// order (fixed-width hex).
+func segName(firstEpoch uint64) string { return fmt.Sprintf("%016x%s", firstEpoch, segSuffix) }
+func ckptName(epoch uint64) string     { return fmt.Sprintf("%016x%s", epoch, ckptSuffix) }
+
+// parseEpoch extracts the epoch from a segment or checkpoint file name.
+func parseEpoch(name, suffix string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, suffix)
+	if !ok || len(base) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(base, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// writeCheckpoint atomically persists ck into dir: frame the JSON, write
+// to a temp file, fsync it, rename to its final epoch-stamped name, and
+// fsync the directory so the rename itself is durable.
+func writeCheckpoint(dir string, ck Checkpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
+	tmp := filepath.Join(dir, ckptTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(frame); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, ckptName(ck.Epoch))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates one checkpoint file: exactly one
+// intact frame holding well-formed JSON.
+func readCheckpoint(path string) (Checkpoint, error) {
+	var ck Checkpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ck, err
+	}
+	var payload []byte
+	valid, torn, _ := scanFrames(data, func(p []byte) error {
+		if payload != nil {
+			return fmt.Errorf("wal: multiple frames in checkpoint %s", filepath.Base(path))
+		}
+		payload = append([]byte(nil), p...)
+		return nil
+	})
+	if torn || payload == nil || valid != int64(len(data)) {
+		return ck, fmt.Errorf("wal: checkpoint %s is torn or corrupt", filepath.Base(path))
+	}
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return ck, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return ck, nil
+}
+
+// listByEpoch returns the files in dir with the given suffix, sorted by
+// ascending embedded epoch. Foreign files are ignored.
+func listByEpoch(dir, suffix string) ([]string, []uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type item struct {
+		name  string
+		epoch uint64
+	}
+	var items []item
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if ep, ok := parseEpoch(e.Name(), suffix); ok {
+			items = append(items, item{e.Name(), ep})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].epoch < items[j].epoch })
+	names := make([]string, len(items))
+	epochs := make([]uint64, len(items))
+	for i, it := range items {
+		names[i] = filepath.Join(dir, it.name)
+		epochs[i] = it.epoch
+	}
+	return names, epochs, nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames/removals within
+// it are durable. Best effort on platforms where directories cannot be
+// fsynced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

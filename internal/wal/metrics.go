@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FsyncBuckets are the fsync-latency histogram upper bounds in seconds.
+// Commodity disks land in the 0.1–10 ms decades; the tails catch both
+// battery-backed write caches (fast) and saturated devices (slow).
+var FsyncBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
+
+// Metrics is the manager-wide durability counter set, maintained with
+// atomics so the /metrics scrape and /v1/stats never block an append.
+type Metrics struct {
+	appendedRecords atomic.Int64
+	appendedBytes   atomic.Int64
+	appendErrors    atomic.Int64
+
+	fsyncs       atomic.Int64
+	fsyncNS      atomic.Int64
+	fsyncBuckets [12]atomic.Int64 // len(FsyncBuckets)+1, last = overflow
+
+	checkpoints        atomic.Int64
+	checkpointFailures atomic.Int64
+
+	recoveredSessions atomic.Int64
+	replayedRecords   atomic.Int64
+	replayNS          atomic.Int64
+	tornTails         atomic.Int64
+}
+
+// MetricsSnapshot is one consistent-enough read of Metrics (each field
+// individually atomic).
+type MetricsSnapshot struct {
+	AppendedRecords int64 `json:"appended_records"`
+	AppendedBytes   int64 `json:"appended_bytes"`
+	AppendErrors    int64 `json:"append_errors"`
+
+	Fsyncs       int64   `json:"fsyncs"`
+	FsyncNS      int64   `json:"fsync_ns"`
+	FsyncBuckets []int64 `json:"fsync_buckets"` // counts per FsyncBuckets bound, +overflow
+
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+
+	RecoveredSessions int64 `json:"recovered_sessions"`
+	ReplayedRecords   int64 `json:"replayed_records"`
+	ReplayNS          int64 `json:"replay_ns"`
+	TornTails         int64 `json:"torn_tails"`
+}
+
+// Read returns the current counter values.
+func (m *Metrics) Read() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	s := MetricsSnapshot{
+		AppendedRecords:    m.appendedRecords.Load(),
+		AppendedBytes:      m.appendedBytes.Load(),
+		AppendErrors:       m.appendErrors.Load(),
+		Fsyncs:             m.fsyncs.Load(),
+		FsyncNS:            m.fsyncNS.Load(),
+		Checkpoints:        m.checkpoints.Load(),
+		CheckpointFailures: m.checkpointFailures.Load(),
+		RecoveredSessions:  m.recoveredSessions.Load(),
+		ReplayedRecords:    m.replayedRecords.Load(),
+		ReplayNS:           m.replayNS.Load(),
+		TornTails:          m.tornTails.Load(),
+	}
+	s.FsyncBuckets = make([]int64, len(m.fsyncBuckets))
+	for i := range m.fsyncBuckets {
+		s.FsyncBuckets[i] = m.fsyncBuckets[i].Load()
+	}
+	return s
+}
+
+// observeFsync folds one fsync duration into the histogram.
+func (m *Metrics) observeFsync(d time.Duration) {
+	m.fsyncs.Add(1)
+	m.fsyncNS.Add(d.Nanoseconds())
+	secs := d.Seconds()
+	for i, ub := range FsyncBuckets {
+		if secs <= ub {
+			m.fsyncBuckets[i].Add(1)
+			return
+		}
+	}
+	m.fsyncBuckets[len(FsyncBuckets)].Add(1)
+}

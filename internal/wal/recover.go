@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	wfs "repro"
+)
+
+// Recovered is one session rebuilt from disk: a warm system at the exact
+// epoch the previous process last durably committed, plus the reopened
+// log positioned to continue appending at the next epoch.
+type Recovered struct {
+	Name    string
+	Source  string
+	Options wfs.Options
+	Sys     *wfs.System
+	Log     *SessionLog
+
+	CheckpointEpoch uint64 // epoch of the checkpoint replay started from
+	Replayed        int    // delta records applied after the checkpoint
+	TornTail        bool   // a torn/corrupt record was dropped from the log tail
+}
+
+// Skipped reports a session directory that could not be recovered (no
+// readable checkpoint, or a checkpoint that no longer compiles). The
+// directory is left on disk for manual inspection; it does not block
+// recovery of the other sessions.
+type Skipped struct {
+	Dir string
+	Err error
+}
+
+// Recover rebuilds every session persisted under the data directory:
+// load the newest valid checkpoint (falling back to older ones if the
+// newest is torn), Restore a system from it, replay the delta tail in
+// epoch order, and truncate away any torn final record a crash mid-write
+// left behind. Replay stops at the first record that is torn, out of
+// sequence, or fails to apply — everything before it is a consistent
+// prefix, everything from it on is dropped from the log so the repaired
+// log and the recovered state agree exactly.
+func (m *Manager) Recover() ([]Recovered, []Skipped, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	start := time.Now()
+	var out []Recovered
+	var skipped []Skipped
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.dir, e.Name())
+		rec, err := m.recoverSession(dir)
+		if err != nil {
+			skipped = append(skipped, Skipped{Dir: dir, Err: err})
+			continue
+		}
+		m.mu.Lock()
+		m.logs[rec.Name] = rec.Log
+		m.mu.Unlock()
+		out = append(out, rec)
+	}
+	m.met.recoveredSessions.Store(int64(len(out)))
+	m.met.replayNS.Store(time.Since(start).Nanoseconds())
+	return out, skipped, nil
+}
+
+// recoverSession rebuilds one session directory.
+func (m *Manager) recoverSession(dir string) (Recovered, error) {
+	ck, err := loadNewestCheckpoint(dir)
+	if err != nil {
+		return Recovered{}, err
+	}
+	sys, err := wfs.Restore(ck.Source, ck.Options, ck.Facts, ck.Epoch)
+	if err != nil {
+		return Recovered{}, err
+	}
+	rec := Recovered{
+		Name:            ck.Name,
+		Source:          ck.Source,
+		Options:         ck.Options,
+		Sys:             sys,
+		CheckpointEpoch: ck.Epoch,
+	}
+
+	segs, _, err := listByEpoch(dir, segSuffix)
+	if err != nil {
+		return Recovered{}, err
+	}
+	cur := ck.Epoch
+	var sinceRecs int
+	var sinceBytes int64
+	// lastSeg/lastSize track the log's new tail: the last segment that
+	// still holds records after repair, and its valid length.
+	lastSeg, lastSize := "", int64(0)
+	for i, path := range segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Recovered{}, err
+		}
+		if len(data) == 0 {
+			// A crash between segment creation and the first write leaves
+			// an empty file named for an epoch that has not committed;
+			// drop it so a future append can recreate that name.
+			if err := os.Remove(path); err != nil {
+				return Recovered{}, err
+			}
+			continue
+		}
+		valid, torn, fnErr := scanFrames(data, func(payload []byte) error {
+			d, err := decodeDelta(payload)
+			if err != nil {
+				return err
+			}
+			if d.epoch <= cur {
+				return nil // covered by the checkpoint
+			}
+			if d.epoch != cur+1 {
+				return fmt.Errorf("wal: epoch gap: record %d after %d", d.epoch, cur)
+			}
+			delta := wfs.NewDelta()
+			for _, f := range d.adds {
+				delta.Add(f.Pred, f.Args...)
+			}
+			for _, f := range d.retracts {
+				delta.Retract(f.Pred, f.Args...)
+			}
+			if err := sys.Apply(delta); err != nil {
+				return fmt.Errorf("wal: replay epoch %d: %w", d.epoch, err)
+			}
+			cur = d.epoch
+			rec.Replayed++
+			sinceRecs++
+			return nil
+		})
+		sinceBytes += valid
+		if torn || fnErr != nil {
+			// Repair: cut this segment back to the consistent prefix and
+			// drop everything after it (later segments are unreachable
+			// under the contiguity invariant). The repaired log now ends
+			// exactly at the recovered state.
+			rec.TornTail = true
+			m.met.tornTails.Add(1)
+			if valid == 0 {
+				if err := os.Remove(path); err != nil {
+					return Recovered{}, err
+				}
+			} else {
+				if err := os.Truncate(path, valid); err != nil {
+					return Recovered{}, err
+				}
+				lastSeg, lastSize = path, valid
+			}
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(later); err != nil {
+					return Recovered{}, err
+				}
+			}
+			syncDir(dir)
+			break
+		}
+		if valid > 0 {
+			lastSeg, lastSize = path, valid
+		}
+	}
+
+	l := &SessionLog{
+		man:       m,
+		dir:       dir,
+		name:      ck.Name,
+		head:      cur,
+		ckptEpoch: ck.Epoch,
+		sinceRecs: sinceRecs,
+		sinceByte: sinceBytes,
+	}
+	l.ckptAt.Store(ck.WrittenAtUnixNano)
+	if lastSeg != "" {
+		f, err := os.OpenFile(lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return Recovered{}, err
+		}
+		l.f, l.segSize = f, lastSize
+	}
+	m.met.replayedRecords.Add(int64(rec.Replayed))
+	rec.Log = l
+	return rec, nil
+}
+
+// loadNewestCheckpoint returns the highest-epoch checkpoint in dir that
+// validates, trying older ones when the newest is torn (a crash during a
+// checkpoint write can leave a bad newest file only if the rename
+// happened; the previous checkpoint is never deleted before the new one
+// is durable).
+func loadNewestCheckpoint(dir string) (Checkpoint, error) {
+	paths, _, err := listByEpoch(dir, ckptSuffix)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	var lastErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		ck, err := readCheckpoint(paths[i])
+		if err == nil {
+			return ck, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("wal: no checkpoint found")
+	}
+	return Checkpoint{}, lastErr
+}

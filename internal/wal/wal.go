@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wfs "repro"
+)
+
+// Durability defaults: how much un-checkpointed log a session may
+// accumulate before the next mutation triggers a background checkpoint.
+const (
+	DefaultCheckpointRecords = 1024
+	DefaultCheckpointBytes   = 4 << 20
+)
+
+// Options configures a Manager. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Fsync syncs the live segment after every append, making each
+	// acknowledged mutation durable against power loss, not just process
+	// death. Off, durability is bounded by the OS page-cache flush
+	// interval — recovery correctness (torn-tail handling, prefix
+	// consistency) is unaffected either way.
+	Fsync bool
+	// CheckpointRecords triggers a checkpoint once this many records
+	// accumulate since the last one; 0 means DefaultCheckpointRecords,
+	// negative disables the record trigger.
+	CheckpointRecords int
+	// CheckpointBytes triggers a checkpoint once this many log bytes
+	// accumulate since the last one; 0 means DefaultCheckpointBytes,
+	// negative disables the byte trigger.
+	CheckpointBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	switch {
+	case o.CheckpointRecords == 0:
+		o.CheckpointRecords = DefaultCheckpointRecords
+	case o.CheckpointRecords < 0:
+		o.CheckpointRecords = 0 // disabled
+	}
+	switch {
+	case o.CheckpointBytes == 0:
+		o.CheckpointBytes = DefaultCheckpointBytes
+	case o.CheckpointBytes < 0:
+		o.CheckpointBytes = 0 // disabled
+	}
+	return o
+}
+
+// Manager owns one data directory of per-session logs.
+type Manager struct {
+	dir  string // <data-dir>/sessions
+	opts Options
+	met  Metrics
+
+	mu   sync.Mutex
+	logs map[string]*SessionLog // by session name
+}
+
+// Open prepares a data directory (creating it if needed) and returns its
+// manager. Open does not read anything — call Recover to rebuild the
+// sessions persisted by a previous process.
+func Open(dir string, opts Options) (*Manager, error) {
+	sessions := filepath.Join(dir, "sessions")
+	if err := os.MkdirAll(sessions, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	return &Manager{dir: sessions, opts: opts.withDefaults(), logs: make(map[string]*SessionLog)}, nil
+}
+
+// Metrics returns the manager-wide durability counters.
+func (m *Manager) Metrics() *Metrics { return &m.met }
+
+// sessionDir maps a session name to its directory. base64url is
+// injective and filesystem-safe for every name the server's session-name
+// grammar admits (≤128 bytes, no '/', no control characters).
+func (m *Manager) sessionDir(name string) string {
+	return filepath.Join(m.dir, base64.RawURLEncoding.EncodeToString([]byte(name)))
+}
+
+// Create starts a brand-new session log: its directory plus the initial
+// checkpoint (the "source load" record — program text, options, the
+// database as loaded, epoch). The checkpoint is durable before Create
+// returns, so a crash immediately after session creation recovers the
+// session. Fails if a log for the name already exists — including one
+// left by a crashed process whose delete never completed, which recovery
+// would have resurrected as a live session.
+func (m *Manager) Create(name string, ck Checkpoint) (*SessionLog, error) {
+	dir := m.sessionDir(name)
+	if _, err := os.Stat(dir); err == nil {
+		return nil, fmt.Errorf("wal: session log for %q already exists", name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create session %q: %w", name, err)
+	}
+	ck.Name = name
+	ck.WrittenAtUnixNano = time.Now().UnixNano()
+	if err := writeCheckpoint(dir, ck); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return nil, err
+	}
+	l := &SessionLog{man: m, dir: dir, name: name, head: ck.Epoch, ckptEpoch: ck.Epoch}
+	l.ckptAt.Store(ck.WrittenAtUnixNano)
+	m.mu.Lock()
+	m.logs[name] = l
+	m.mu.Unlock()
+	m.met.checkpoints.Add(1)
+	return l, nil
+}
+
+// Remove closes and deletes a session's log (session deletion made
+// durable).
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	l := m.logs[name]
+	delete(m.logs, name)
+	m.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	if err := os.RemoveAll(m.sessionDir(name)); err != nil {
+		return fmt.Errorf("wal: remove session %q: %w", name, err)
+	}
+	return syncDir(m.dir)
+}
+
+// Close fsyncs and closes every open session log. Callers that want a
+// clean restart to replay zero records write final checkpoints first
+// (SessionLog.Checkpoint per session).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	logs := make([]*SessionLog, 0, len(m.logs))
+	for _, l := range m.logs {
+		logs = append(logs, l)
+	}
+	m.logs = make(map[string]*SessionLog)
+	m.mu.Unlock()
+	var firstErr error
+	for _, l := range logs {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SessionLog is one session's write-ahead log: an append head over the
+// live segment plus checkpoint bookkeeping. Append is called from the
+// session's commit hook (so appends are serialized by the system's write
+// lock as well as by mu); Checkpoint runs concurrently with appends,
+// overlapping the expensive state dump with live traffic.
+type SessionLog struct {
+	man  *Manager
+	dir  string
+	name string
+
+	mu        sync.Mutex
+	closed    bool
+	f         *os.File // live segment, nil when none is open
+	segSize   int64
+	head      uint64 // last epoch appended (= checkpoint epoch when log is empty)
+	sinceRecs int    // records since the last checkpoint
+	sinceByte int64  // bytes since the last checkpoint
+	ckptEpoch uint64
+	payload   []byte // reused record build buffer
+	buf       []byte // reused frame build buffer
+
+	ckptAt atomic.Int64 // WrittenAtUnixNano of the newest checkpoint
+}
+
+// Name returns the session name the log belongs to.
+func (l *SessionLog) Name() string { return l.name }
+
+// LastCheckpoint returns when the newest checkpoint was written (taken
+// from the checkpoint itself, so it survives restarts) — the
+// "last-checkpoint age" observability signal.
+func (l *SessionLog) LastCheckpoint() time.Time {
+	return time.Unix(0, l.ckptAt.Load())
+}
+
+// Append serializes one committed delta to the live segment — creating a
+// fresh segment named by the record's epoch when none is open — and, with
+// Options.Fsync, syncs it before returning. Epochs must arrive
+// contiguously (each mutation bumps the epoch by exactly one); a gap
+// means the caller skipped logging a mutation and is rejected rather than
+// persisted as an unreplayable log.
+func (l *SessionLog) Append(epoch uint64, adds, retracts []wfs.FactRef) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: session log %q is closed", l.name)
+	}
+	if epoch != l.head+1 {
+		return fmt.Errorf("wal: session %q: append epoch %d, want %d (gap would corrupt replay)",
+			l.name, epoch, l.head+1)
+	}
+	if l.f == nil {
+		path := filepath.Join(l.dir, segName(epoch))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			l.man.met.appendErrors.Add(1)
+			return fmt.Errorf("wal: session %q: %w", l.name, err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+		l.f, l.segSize = f, 0
+	}
+	l.payload = encodeDelta(l.payload[:0], epoch, adds, retracts)
+	l.buf = appendFrame(l.buf[:0], l.payload)
+	frame := l.buf
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame may have landed; roll the file back to the last
+		// record boundary so the tail stays parseable.
+		l.f.Truncate(l.segSize)
+		l.man.met.appendErrors.Add(1)
+		return fmt.Errorf("wal: session %q: append: %w", l.name, err)
+	}
+	if l.man.opts.Fsync {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			l.man.met.appendErrors.Add(1)
+			return fmt.Errorf("wal: session %q: fsync: %w", l.name, err)
+		}
+		l.man.met.observeFsync(time.Since(start))
+	}
+	l.segSize += int64(len(frame))
+	l.head = epoch
+	l.sinceRecs++
+	l.sinceByte += int64(len(frame))
+	l.man.met.appendedRecords.Add(1)
+	l.man.met.appendedBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// NeedCheckpoint reports whether the log since the last checkpoint has
+// crossed a configured record/byte threshold.
+func (l *SessionLog) NeedCheckpoint() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o := l.man.opts
+	return (o.CheckpointRecords > 0 && l.sinceRecs >= o.CheckpointRecords) ||
+		(o.CheckpointBytes > 0 && l.sinceByte >= o.CheckpointBytes)
+}
+
+// Checkpoint writes a full-state snapshot and garbage-collects the log it
+// supersedes. dump is called WITHOUT the log lock held, so a slow state
+// dump overlaps live appends; the ordering is:
+//
+//  1. rotate — close the live segment; appends continue into a fresh one.
+//  2. dump() — the caller snapshots (facts, epoch) from the system. Any
+//     record appended before the rotation belongs to a mutation that
+//     committed before the dump could read the state (the commit hook
+//     runs under the system write lock), so the dump's epoch covers every
+//     record in the rotated-out segments.
+//  3. write the checkpoint atomically, then delete the rotated-out
+//     segments and older checkpoints.
+//
+// A crash between any two steps is safe: the old checkpoint plus the
+// complete log always reproduce the state.
+func (l *SessionLog) Checkpoint(dump func() Checkpoint) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: session log %q is closed", l.name)
+	}
+	old, _, err := listByEpoch(l.dir, segSuffix)
+	if err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: session %q: %w", l.name, err)
+	}
+	if l.f != nil {
+		err = l.f.Sync()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f, l.segSize = nil, 0
+		if err != nil {
+			l.mu.Unlock()
+			l.man.met.checkpointFailures.Add(1)
+			return fmt.Errorf("wal: session %q: rotate: %w", l.name, err)
+		}
+	}
+	l.mu.Unlock()
+
+	ck := dump()
+	ck.Name = l.name
+	ck.WrittenAtUnixNano = time.Now().UnixNano()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: session log %q is closed", l.name)
+	}
+	if err := writeCheckpoint(l.dir, ck); err != nil {
+		l.man.met.checkpointFailures.Add(1)
+		return err
+	}
+	// GC: every segment that existed at rotation holds only epochs ≤
+	// ck.Epoch; older checkpoints are strictly dominated.
+	for _, p := range old {
+		os.Remove(p)
+	}
+	if cks, eps, err := listByEpoch(l.dir, ckptSuffix); err == nil {
+		for i, p := range cks {
+			if eps[i] < ck.Epoch {
+				os.Remove(p)
+			}
+		}
+	}
+	syncDir(l.dir)
+	l.ckptEpoch = ck.Epoch
+	l.ckptAt.Store(ck.WrittenAtUnixNano)
+	l.sinceRecs = 0
+	l.sinceByte = 0
+	l.man.met.checkpoints.Add(1)
+	return nil
+}
+
+// Close flushes and fsyncs the live segment and stops the log. Further
+// Append/Checkpoint calls fail, so a mutation racing a shutdown is
+// rejected rather than lost.
+func (l *SessionLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: session %q: close: %w", l.name, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package wfs
+
+import (
+	"fmt"
+
+	"repro/internal/atom"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+// DumpState renders the current database as store-independent fact
+// references together with the epoch it belongs to, as one consistent
+// pair under the read lock. The result is the payload of a durability
+// checkpoint: Restore(src, opts, facts, epoch) over a dump taken from a
+// system loaded from src rebuilds an equivalent system.
+//
+// Only database (EDB) facts are dumped — derived state is recomputed on
+// restore, never persisted — and database facts are always over plain
+// constants (labelled nulls exist only in chase results), so the string
+// rendering is lossless.
+func (s *System) DumpState() (facts []FactRef, epoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	facts = make([]FactRef, len(s.db))
+	for i, a := range s.db {
+		p := s.store.PredOf(a)
+		args := s.store.Args(a)
+		fr := FactRef{Pred: s.store.PredName(p)}
+		if len(args) > 0 {
+			fr.Args = make([]string, len(args))
+			for j, t := range args {
+				fr.Args[j] = s.store.Terms.Name(t)
+			}
+		}
+		facts[i] = fr
+	}
+	return facts, s.epoch
+}
+
+// Restore rebuilds a System from checkpoint state: it compiles src (rules,
+// constraints, and embedded queries) under opts exactly like
+// LoadWithOptions, then REPLACES the database with the given facts — the
+// facts compiled from src are discarded, since a checkpoint's fact list is
+// the complete database, source facts included — and sets the mutation
+// epoch. Predicates appearing only in facts are created at the fact's
+// arity; an arity clash with the compiled schema reports a corrupt
+// checkpoint rather than silently misloading.
+//
+// Restore plus an in-order replay of the deltas committed after the
+// checkpoint (System.Apply bumps the epoch by one per batch, matching the
+// epochs a CommitHook observed) reproduces the pre-crash system state.
+func Restore(src string, opts Options, facts []FactRef, epoch uint64) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	st := atom.NewStore(term.NewStore())
+	prog, _, queries, err := program.CompileText(src, st)
+	if err != nil {
+		return nil, fmt.Errorf("wfs: restore: %w", err)
+	}
+	db := make(program.Database, 0, len(facts))
+	for _, f := range facts {
+		p, err := st.Pred(f.Pred, len(f.Args))
+		if err != nil {
+			return nil, fmt.Errorf("wfs: restore %s: %w", f.Pred, err)
+		}
+		ts := make([]term.ID, len(f.Args))
+		for i, arg := range f.Args {
+			ts[i] = st.Terms.Const(arg)
+		}
+		db = append(db, st.Atom(p, ts))
+	}
+	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts, epoch: epoch}, nil
+}

@@ -115,6 +115,11 @@ type System struct {
 	// metrics accumulates always-on build observability across every
 	// epoch's snapshots (see EngineMetrics); read via Metrics.
 	metrics EngineMetrics
+
+	// commitHook, when set, observes every validated mutation batch
+	// immediately before it commits and may veto it (see CommitHook —
+	// the write-ahead-log integration point).
+	commitHook CommitHook
 }
 
 // Load parses and compiles a source unit (facts, rules, constraints, EGDs,
