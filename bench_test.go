@@ -402,6 +402,54 @@ func BenchmarkAdaptiveLadder(b *testing.B) {
 	})
 }
 
+// BenchmarkCertifiedAnswer — the workload is bench.UpdateFamily bulk data
+// plus a 12-link derivation chain whose guard graph certifies the whole
+// program at chase depth 12. "certified" is the default load: one exact
+// rung at the certified depth. "heuristic" opts out with NoCertify and
+// climbs the adaptive ladder; the stability window is widened past the
+// schedule because with the default window the ladder stops early on a
+// stable-but-wrong False for the deep tail (the incompleteness the
+// certificate removes), so saturation is the only heuristic configuration
+// that matches the certified answer. Each iteration is a cold load plus
+// one query on the deep tail. BENCH_analysis.json records the committed
+// comparison.
+func BenchmarkCertifiedAnswer(b *testing.B) {
+	src := bench.UpdateFamily(400, 6) + chainSrc(12)
+	const query = "? d12(c2)."
+
+	b.Run("certified", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := Load(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ans, stats, err := sys.AnswerWithStats(query)
+			if err != nil || ans != True {
+				b.Fatalf("d12(c2) = %v (%v)", ans, err)
+			}
+			if !stats.Exact || len(stats.Depths) != 1 {
+				b.Fatalf("certified answer not single exact rung: %+v", stats)
+			}
+		}
+	})
+
+	b.Run("heuristic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := LoadWithOptions(src, Options{NoCertify: true, StabilityWindow: 99})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ans, stats, err := sys.AnswerWithStats(query)
+			if err != nil || ans != True {
+				b.Fatalf("d12(c2) = %v (%v)", ans, err)
+			}
+			if len(stats.Depths) <= 1 {
+				b.Fatalf("heuristic ladder took %v — expected multiple rungs", stats.Depths)
+			}
+		}
+	})
+}
+
 // BenchmarkRenderFacts — TrueFacts/UndefinedFacts used to render and sort
 // under the system's exclusive lock; they now render from the snapshot
 // with a preallocated output slice and no lock held, so N goroutines

@@ -1,0 +1,149 @@
+// wfslint runs the static program analysis (repro/internal/analysis)
+// over guarded normal Datalog± source files without evaluating them:
+// termination classification, chase-termination certificates with depth
+// bounds, and line-accurate diagnostics (dead rules, underivable
+// predicates, negation cycles, vacuous negation, singleton variables).
+//
+// Usage:
+//
+//	wfslint [-json] [-strict] [-v] [path ...]
+//
+// Each path may be a .dlg file or a directory (searched recursively for
+// .dlg files); with no paths, the program is read from stdin. The exit
+// status is 1 when any file has Error diagnostics (or Warning
+// diagnostics under -strict), 2 on usage or IO errors, 0 otherwise —
+// suitable as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/atom"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+func main() {
+	var (
+		asJSON  = flag.Bool("json", false, "emit one JSON report object per file")
+		strict  = flag.Bool("strict", false, "treat warnings as fatal (exit 1)")
+		verbose = flag.Bool("v", false, "list per-rule facts and per-predicate depth bounds")
+	)
+	flag.Parse()
+
+	files, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfslint:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if len(files) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfslint:", err)
+			os.Exit(2)
+		}
+		ok, err := lintOne(os.Stdout, "<stdin>", string(src), *asJSON, *strict, *verbose, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfslint:", err)
+			os.Exit(2)
+		}
+		failed = !ok
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfslint:", err)
+			os.Exit(2)
+		}
+		ok, err := lintOne(os.Stdout, f, string(src), *asJSON, *strict, *verbose, len(files) > 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfslint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// collect expands the path arguments: files are taken as-is, directories
+// are walked recursively for *.dlg files. The result is sorted for
+// deterministic output.
+func collect(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".dlg") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// lintOne compiles and analyzes one source unit, rendering the report to
+// w. It returns ok=false when the file should fail the lint run (compile
+// error, Error diagnostics, or Warning diagnostics under strict) and a
+// non-nil error only for rendering failures.
+func lintOne(w io.Writer, name, src string, asJSON, strict, verbose, header bool) (bool, error) {
+	st := atom.NewStore(term.NewStore())
+	prog, db, queries, err := program.CompileText(src, st)
+	if err != nil {
+		if asJSON {
+			if encErr := json.NewEncoder(w).Encode(map[string]string{
+				"file": name, "compile_error": err.Error(),
+			}); encErr != nil {
+				return false, encErr
+			}
+		} else {
+			fmt.Fprintf(w, "%s: %v\n", name, err)
+		}
+		return false, nil
+	}
+	rep := analysis.Analyze(prog, db, queries)
+	if asJSON {
+		if err := json.NewEncoder(w).Encode(struct {
+			File string `json:"file"`
+			*analysis.Report
+		}{File: name, Report: rep}); err != nil {
+			return false, err
+		}
+	} else {
+		if header {
+			fmt.Fprintf(w, "== %s ==\n", name)
+		}
+		fmt.Fprint(w, rep.Format(verbose))
+	}
+	nerr, nwarn, _ := rep.Counts()
+	return nerr == 0 && (!strict || nwarn == 0), nil
+}

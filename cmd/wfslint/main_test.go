@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLintOneCleanProgram(t *testing.T) {
+	var b strings.Builder
+	ok, err := lintOne(&b, "test.dlg", `
+		move(a,b). move(b,a).
+		move(X,Y), not win(Y) -> win(X).
+	`, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("clean program failed lint:\n%s", b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"chase terminates", "certificate: chase depth ≤ 1", "negation-cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintOneErrorsFail(t *testing.T) {
+	var b strings.Builder
+	ok, err := lintOne(&b, "bad.dlg", `
+		scientist(john).
+		conferencePaper(X) -> article(X).
+	`, false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("program with unsatisfiable rule passed lint:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "unsatisfiable-rule") {
+		t.Errorf("output missing diagnostic:\n%s", b.String())
+	}
+}
+
+func TestLintOneStrictPromotesWarnings(t *testing.T) {
+	src := `
+		a(1).
+		a(X), not ghost(X) -> b(X).
+	`
+	var b strings.Builder
+	if ok, _ := lintOne(&b, "w.dlg", src, false, false, false, false); !ok {
+		t.Fatal("warnings should pass without -strict")
+	}
+	if ok, _ := lintOne(&b, "w.dlg", src, false, true, false, false); ok {
+		t.Fatal("warnings should fail under -strict")
+	}
+}
+
+func TestLintOneCompileErrorFails(t *testing.T) {
+	var b strings.Builder
+	ok, err := lintOne(&b, "syntax.dlg", "p(X ->", false, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("syntax error passed lint")
+	}
+}
+
+func TestLintOneJSON(t *testing.T) {
+	var b strings.Builder
+	ok, err := lintOne(&b, "j.dlg", "p(1). p(X) -> q(X).", true, false, false, false)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	var rep struct {
+		File        string `json:"file"`
+		Terminates  bool   `json:"terminates"`
+		Certificate *struct {
+			DepthBound int `json:"depth_bound"`
+		} `json:"certificate"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON %q: %v", b.String(), err)
+	}
+	if rep.File != "j.dlg" || !rep.Terminates || rep.Certificate == nil || rep.Certificate.DepthBound != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestCollectWalksDirectories(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		filepath.Join(dir, "a.dlg"),
+		filepath.Join(sub, "b.dlg"),
+		filepath.Join(dir, "ignore.txt"),
+	} {
+		if err := os.WriteFile(f, []byte("p(1).\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := collect([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("collect found %v, want the two .dlg files", files)
+	}
+}

@@ -17,6 +17,7 @@
 //	:model                           print true and undefined atoms
 //	:check                           evaluate constraints and EGDs
 //	:stats                           chase/model statistics
+//	:lint                            static analysis report (termination, diagnostics)
 //	:trace on|off                    per-phase evaluation traces for '?' queries
 //	:help                            this text
 //	:quit                            exit
@@ -45,6 +46,7 @@ commands:
   :model          print true and undefined atoms
   :check          evaluate constraints and EGDs
   :stats          chase/model statistics
+  :lint           static analysis: termination classes, certificate, diagnostics
   :trace on|off   per-phase evaluation traces for '?' queries
   :help           this text
   :quit           exit`
@@ -116,6 +118,8 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 			for _, v := range vs {
 				fmt.Fprintln(out, " ", v)
 			}
+		case line == ":lint":
+			fmt.Fprint(out, sys.Analysis().Format(true))
 		case line == ":stats":
 			m := sys.Model()
 			stats := m.Chase.ComputeStats()

@@ -1,0 +1,195 @@
+package analysis
+
+// Acyclicity classes. All three prove that the guarded chase of any
+// database under the program terminates; only guard-acyclicity
+// (certificate.go) additionally yields a concrete static bound on forest
+// depth, because in this chase the depth of a derived atom is always
+// exactly guardDepth+1 (side atoms wait for their derivations but never
+// deepen the head — see chase.tryApply).
+
+// weaklyAcyclic implements the classic Fagin et al. test on the
+// position dependency graph: nodes are (predicate, argument) positions;
+// for every rule and universally quantified variable x occurring at a
+// positive body position π, a regular edge runs π → π' for each head
+// position π' of x, and a special edge runs π → π* for each head
+// position π* holding an existentially quantified variable. The program
+// is weakly acyclic iff no cycle goes through a special edge: then every
+// propagation path creates only boundedly many fresh nulls and the chase
+// terminates on every instance.
+func weaklyAcyclic(u *universe) bool {
+	ps := newPositions(u)
+	adj := make([][]int, ps.total)
+	type edge struct{ from, to int }
+	var special []edge
+
+	for _, r := range u.prog.Rules {
+		numUniv := len(r.Univ)
+		// body positions per universal variable slot
+		bodyPos := make(map[int][]int)
+		for _, b := range r.PosBody {
+			for i, a := range b.Args {
+				if a.IsVar() && int(a.Var) < numUniv {
+					bodyPos[int(a.Var)] = append(bodyPos[int(a.Var)], ps.at(b.Pred, i))
+				}
+			}
+		}
+		// head positions: universal slots get regular targets, existential
+		// slots are special targets
+		var specialTargets []int
+		headPos := make(map[int][]int)
+		for i, a := range r.Head.Args {
+			if !a.IsVar() {
+				continue
+			}
+			pos := ps.at(r.Head.Pred, i)
+			if int(a.Var) < numUniv {
+				headPos[int(a.Var)] = append(headPos[int(a.Var)], pos)
+			} else {
+				specialTargets = append(specialTargets, pos)
+			}
+		}
+		for v, srcs := range bodyPos {
+			for _, s := range srcs {
+				for _, t := range headPos[v] {
+					adj[s] = append(adj[s], t)
+				}
+				for _, t := range specialTargets {
+					adj[s] = append(adj[s], t)
+					special = append(special, edge{from: s, to: t})
+				}
+			}
+		}
+	}
+	if len(special) == 0 {
+		return true // no existential propagation at all
+	}
+	comp := componentOf(ps.total, sccs(adj))
+	for _, e := range special {
+		if comp[e.from] == comp[e.to] {
+			return false
+		}
+	}
+	return true
+}
+
+// jointlyAcyclic implements the Krötzsch–Rudolph test, which subsumes
+// weak acyclicity: for each existentially quantified variable z, compute
+// Mov(z) — the least set of positions containing z's head positions and
+// closed under "if every positive body position of a universal variable
+// x of some rule lies in Mov(z), then x's head positions do too". Then
+// z' depends on z when Mov(z) meets the positive body positions of a
+// frontier variable of z”s rule; the program is jointly acyclic iff
+// this dependency relation is acyclic. Since compilation Skolemizes over
+// all universal variables of the rule, every universal variable is
+// treated as frontier — a sound over-approximation.
+func jointlyAcyclic(u *universe) bool {
+	ps := newPositions(u)
+
+	// Per rule: positive body positions and head positions of each
+	// universal variable slot, precomputed once.
+	type ruleVars struct {
+		bodyPos map[int][]int
+		headPos map[int][]int
+	}
+	rules := make([]ruleVars, len(u.prog.Rules))
+	for ri, r := range u.prog.Rules {
+		rv := ruleVars{bodyPos: make(map[int][]int), headPos: make(map[int][]int)}
+		numUniv := len(r.Univ)
+		for _, b := range r.PosBody {
+			for i, a := range b.Args {
+				if a.IsVar() && int(a.Var) < numUniv {
+					rv.bodyPos[int(a.Var)] = append(rv.bodyPos[int(a.Var)], ps.at(b.Pred, i))
+				}
+			}
+		}
+		for i, a := range r.Head.Args {
+			if a.IsVar() && int(a.Var) < numUniv {
+				rv.headPos[int(a.Var)] = append(rv.headPos[int(a.Var)], ps.at(r.Head.Pred, i))
+			}
+		}
+		rules[ri] = rv
+	}
+
+	// Existential variables, flattened across rules.
+	type exist struct {
+		rule int
+		mov  []bool // position set
+	}
+	var exs []exist
+	for ri, r := range u.prog.Rules {
+		for _, ev := range r.Exist {
+			mov := make([]bool, ps.total)
+			for i, a := range r.Head.Args {
+				if a.IsVar() && int(a.Var) == ev.Slot {
+					mov[ps.at(r.Head.Pred, i)] = true
+				}
+			}
+			exs = append(exs, exist{rule: ri, mov: mov})
+		}
+	}
+	if len(exs) == 0 {
+		return true
+	}
+
+	// Close each Mov set.
+	for xi := range exs {
+		mov := exs[xi].mov
+		for changed := true; changed; {
+			changed = false
+			for _, rv := range rules {
+				for v, srcs := range rv.bodyPos {
+					all := true
+					for _, s := range srcs {
+						if !mov[s] {
+							all = false
+							break
+						}
+					}
+					if !all {
+						continue
+					}
+					for _, t := range rv.headPos[v] {
+						if !mov[t] {
+							mov[t] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Dependency graph over existential variables: z → z' when Mov(z)
+	// meets a positive body position of z''s rule's universal variables.
+	adj := make([][]int, len(exs))
+	for zi := range exs {
+		for zj := range exs {
+			rv := rules[exs[zj].rule]
+			dep := false
+		scan:
+			for _, srcs := range rv.bodyPos {
+				for _, s := range srcs {
+					if exs[zi].mov[s] {
+						dep = true
+						break scan
+					}
+				}
+			}
+			if dep {
+				adj[zi] = append(adj[zi], zj)
+			}
+		}
+	}
+	for _, c := range sccs(adj) {
+		if len(c) > 1 {
+			return false
+		}
+		v := c[0]
+		for _, w := range adj[v] {
+			if w == v {
+				return false
+			}
+		}
+	}
+	return true
+}

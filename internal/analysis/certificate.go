@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"repro/internal/atom"
+	"repro/internal/program"
+)
+
+// Certificate is a machine-checkable chase-termination certificate: for
+// a guard-acyclic program, every atom any chase of any database can
+// derive has forest depth ≤ DepthBound, and the bounded chase run at
+// MaxDepth = DepthBound is complete (no instance is left unexpanded by
+// the depth cap). The bound is data-independent — it survives fact
+// additions and retractions — so the engine may clamp its adaptive
+// ladder to the single certified depth and mark the resulting models
+// exact (core.Options.CertifiedDepth).
+type Certificate struct {
+	// Class names the argument; currently always "guard-acyclic".
+	Class string `json:"class"`
+	// DepthBound is the certified chase depth bound k ≥ 1.
+	DepthBound int `json:"depth_bound"`
+	// PredBounds maps each predicate to its individual depth ceiling.
+	PredBounds map[string]int `json:"pred_bounds,omitempty"`
+}
+
+// Certify proves a concrete chase depth bound when the guard graph —
+// one edge guardPredicate → headPredicate per rule — is acyclic, and
+// returns nil otherwise.
+//
+// Why this graph bounds depth: the chase derives every head at depth
+// guardDepth+1, and side atoms only delay firing (parked waiters), they
+// never deepen the head (chase.tryApply). So along the guard graph,
+// bound(p) = max over rules with head p of bound(guard)+1 (0 when p is
+// EDB-only) dominates the depth of every p-atom in every run, for every
+// database: database atoms sit at depth 0, and induction over any
+// derivation gives depth(head) = depth(guard)+1 ≤ bound(guardPred)+1 ≤
+// bound(headPred). Recursion through side atoms — e.g. reach(X),
+// edge(X,Y) → reach(Y) with edge as guard — certifies at bound 1, which
+// is exactly how that chase behaves.
+//
+// Completeness at MaxDepth = k = max bound: the chase expands every atom
+// of depth < MaxDepth. Any atom that guards a rule has a predicate p
+// with bound(p) ≤ k−1 (its head would otherwise exceed the global max),
+// so every potential guard is expanded and no derivation is cut off.
+//
+// Termination (finite universe) follows from guardedness: the guard
+// covers all universal variables, so a rule's head atom is a function of
+// (rule, guard atom) alone; by induction over bound(p), each predicate
+// accumulates finitely many atoms.
+func Certify(prog *program.Program) *Certificate {
+	type node struct {
+		rules []*program.Rule // non-fact rules with this head predicate
+	}
+	heads := make(map[atom.PredID]*node)
+	var order []atom.PredID
+	touch := func(p atom.PredID) *node {
+		n, ok := heads[p]
+		if !ok {
+			n = &node{}
+			heads[p] = n
+			order = append(order, p)
+		}
+		return n
+	}
+	for _, r := range prog.Rules {
+		if r.IsFact() {
+			continue
+		}
+		n := touch(r.Head.Pred)
+		n.rules = append(n.rules, r)
+		touch(r.GuardAtom().Pred)
+	}
+
+	// Memoized longest-path DP; a cycle (including a self-loop) aborts.
+	const (
+		unvisited  = -1
+		inProgress = -2
+	)
+	bound := make(map[atom.PredID]int, len(heads))
+	for p := range heads {
+		bound[p] = unvisited
+	}
+	var visit func(p atom.PredID) bool
+	visit = func(p atom.PredID) bool {
+		switch bound[p] {
+		case inProgress:
+			return false // guard cycle
+		case unvisited:
+		default:
+			return true
+		}
+		bound[p] = inProgress
+		b := 0
+		for _, r := range heads[p].rules {
+			g := r.GuardAtom().Pred
+			if !visit(g) {
+				return false
+			}
+			if gb := bound[g] + 1; gb > b {
+				b = gb
+			}
+		}
+		bound[p] = b
+		return true
+	}
+	k := 0
+	for _, p := range order {
+		if !visit(p) {
+			return nil
+		}
+		if bound[p] > k {
+			k = bound[p]
+		}
+	}
+	if k < 1 {
+		k = 1 // chase depth bounds are ≥ 1; a rule-free program is trivially complete there
+	}
+	pb := make(map[string]int, len(order))
+	for _, p := range order {
+		pb[prog.Store.PredName(p)] = bound[p]
+	}
+	return &Certificate{Class: "guard-acyclic", DepthBound: k, PredBounds: pb}
+}

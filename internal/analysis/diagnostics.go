@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/atom"
+)
+
+// diagnose runs every diagnostic pass and returns the findings sorted by
+// severity (errors first), then source line, then code — a stable order
+// for golden tests and for rendering.
+func diagnose(u *universe, negCycles [][]string) []Diagnostic {
+	var out []Diagnostic
+	out = append(out, supportDiagnostics(u)...)
+	out = append(out, usageDiagnostics(u)...)
+	out = append(out, singletonDiagnostics(u)...)
+	for _, cyc := range negCycles {
+		out = append(out, Diagnostic{
+			Severity: Info,
+			Code:     "negation-cycle",
+			Pred:     cyc[0],
+			Message: fmt.Sprintf("predicates {%s} form a negation cycle: genuine well-founded evaluation required (not reducible to a stratified least fixpoint)",
+				strings.Join(cyc, ", ")),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// supported computes the least fixpoint of derivability over the EDB
+// signature: a predicate is supported when it has database facts, or
+// some rule with an entirely-supported positive body derives it.
+// Negative body literals never block support (they can only be true).
+func supported(u *universe) map[atom.PredID]bool {
+	sup := make(map[atom.PredID]bool, len(u.preds))
+	for p := range u.edb {
+		sup[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range u.prog.Rules {
+			if sup[r.Head.Pred] {
+				continue
+			}
+			ok := true
+			for _, b := range r.PosBody {
+				if !sup[b.Pred] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sup[r.Head.Pred] = true
+				changed = true
+			}
+		}
+	}
+	return sup
+}
+
+// supportDiagnostics reports rules, constraints, and negative literals
+// that the EDB signature makes unsatisfiable:
+//
+//   - a rule whose positive body mentions an unsupported predicate can
+//     never fire — an Error, since the rule is dead weight and almost
+//     always indicates a misspelled predicate or missing facts;
+//   - a negative literal over an unsupported predicate is vacuously true
+//     — a Warning (the author wrote a test that cannot fail);
+//   - a constraint whose positive body mentions an unsupported predicate
+//     can never be violated — a Warning.
+func supportDiagnostics(u *universe) []Diagnostic {
+	sup := supported(u)
+	var out []Diagnostic
+	for _, r := range u.prog.Rules {
+		dead := false
+		for _, b := range r.PosBody {
+			if !sup[b.Pred] {
+				dead = true
+				out = append(out, Diagnostic{
+					Severity: Error,
+					Code:     "unsatisfiable-rule",
+					Line:     r.Line,
+					Rule:     r.Label,
+					Pred:     u.name(b.Pred),
+					Message: fmt.Sprintf("rule can never fire: predicate %s has no facts and no rule can derive it",
+						u.sig(b.Pred)),
+				})
+				break // one finding per dead rule
+			}
+		}
+		if dead {
+			continue
+		}
+		for _, b := range r.NegBody {
+			if !sup[b.Pred] {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Code:     "vacuous-negation",
+					Line:     r.Line,
+					Rule:     r.Label,
+					Pred:     u.name(b.Pred),
+					Message: fmt.Sprintf("negative literal is vacuously true: predicate %s has no facts and no rule can derive it",
+						u.sig(b.Pred)),
+				})
+			}
+		}
+	}
+	for _, c := range u.prog.Constraints {
+		for _, b := range c.PosBody {
+			if !sup[b.Pred] {
+				out = append(out, Diagnostic{
+					Severity: Warning,
+					Code:     "unsatisfiable-constraint",
+					Rule:     c.Label,
+					Pred:     u.name(b.Pred),
+					Message: fmt.Sprintf("constraint can never be violated: predicate %s has no facts and no rule can derive it",
+						u.sig(b.Pred)),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// usageDiagnostics reports head-only predicates: derived by some rule
+// but never read — not in any rule body, constraint, EGD, or embedded
+// query. Often fine (the program's outputs), hence Info.
+func usageDiagnostics(u *universe) []Diagnostic {
+	used := make(map[atom.PredID]bool)
+	markPats := func(pats []atom.Pattern) {
+		for _, p := range pats {
+			used[p.Pred] = true
+		}
+	}
+	for _, r := range u.prog.Rules {
+		markPats(r.PosBody)
+		markPats(r.NegBody)
+	}
+	for _, c := range u.prog.Constraints {
+		markPats(c.PosBody)
+		markPats(c.NegBody)
+	}
+	for _, e := range u.prog.EGDs {
+		markPats(e.PosBody)
+	}
+	for _, q := range u.queries {
+		markPats(q.Pos)
+		markPats(q.Neg)
+	}
+	var out []Diagnostic
+	seen := make(map[atom.PredID]bool)
+	for _, r := range u.prog.Rules {
+		h := r.Head.Pred
+		if used[h] || seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, Diagnostic{
+			Severity: Info,
+			Code:     "unused-predicate",
+			Line:     r.Line,
+			Pred:     u.name(h),
+			Message: fmt.Sprintf("predicate %s is derived but never read (not in any rule body, constraint, or query)",
+				u.sig(h)),
+		})
+	}
+	return out
+}
+
+// singletonDiagnostics reports universally quantified variables that
+// occur exactly once in a rule — legitimate as projection, but also the
+// classic symptom of a typo'd variable name, hence Info.
+func singletonDiagnostics(u *universe) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range u.prog.Rules {
+		numUniv := len(r.Univ)
+		count := make([]int, r.NumVars)
+		tally := func(pats []atom.Pattern) {
+			for _, p := range pats {
+				for _, a := range p.Args {
+					if a.IsVar() {
+						count[a.Var]++
+					}
+				}
+			}
+		}
+		tally([]atom.Pattern{r.Head})
+		tally(r.PosBody)
+		tally(r.NegBody)
+		var singles []string
+		for v := 0; v < numUniv && v < len(r.VarNames); v++ {
+			if count[v] == 1 {
+				singles = append(singles, r.VarNames[v])
+			}
+		}
+		if len(singles) > 0 {
+			out = append(out, Diagnostic{
+				Severity: Info,
+				Code:     "singleton-variable",
+				Line:     r.Line,
+				Rule:     r.Label,
+				Message: fmt.Sprintf("singleton variable%s %s (each occurs only once in the rule)",
+					plural(len(singles)), strings.Join(singles, ", ")),
+			})
+		}
+	}
+	return out
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// ruleInfo records the per-rule structural facts.
+func ruleInfo(u *universe) []RuleInfo {
+	out := make([]RuleInfo, len(u.prog.Rules))
+	for i, r := range u.prog.Rules {
+		guard := ""
+		if !r.IsFact() {
+			guard = u.name(r.GuardAtom().Pred)
+		}
+		out[i] = RuleInfo{
+			Idx:         r.Idx,
+			Line:        r.Line,
+			Label:       r.Label,
+			HeadPred:    u.name(r.Head.Pred),
+			GuardPred:   guard,
+			Linear:      len(r.PosBody) == 1,
+			Existential: len(r.Exist) > 0,
+			Negated:     len(r.NegBody) > 0,
+		}
+	}
+	return out
+}

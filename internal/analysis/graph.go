@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/atom"
+)
+
+// sccs Tarjan-condenses a directed graph given as adjacency lists,
+// returning the strongly connected components in reverse topological
+// order (each component before any component it has edges into). The
+// graphs here are program-sized (predicates or argument positions), so
+// the recursive formulation is fine.
+func sccs(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	return comps
+}
+
+// componentOf inverts an SCC list into a node → component-index map.
+func componentOf(n int, comps [][]int) []int {
+	comp := make([]int, n)
+	for ci, c := range comps {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	return comp
+}
+
+// predEdge is one head → body-predicate dependency, marked negative when
+// the body occurrence is under negation.
+type predEdge struct {
+	from, to int
+	neg      bool
+}
+
+// predGraph builds the predicate-level dependency graph (head → body,
+// the direction stratification uses): one node per referenced predicate,
+// one edge per body occurrence.
+func predGraph(u *universe) (adj [][]int, edges []predEdge) {
+	adj = make([][]int, len(u.preds))
+	seen := make(map[[2]int]bool) // dedup positive edges; negative kept distinct
+	addEdge := func(from, to int, neg bool) {
+		if !neg && seen[[2]int{from, to}] {
+			return
+		}
+		if !neg {
+			seen[[2]int{from, to}] = true
+		}
+		adj[from] = append(adj[from], to)
+		edges = append(edges, predEdge{from: from, to: to, neg: neg})
+	}
+	for _, r := range u.prog.Rules {
+		h := u.predIdx[r.Head.Pred]
+		for _, b := range r.PosBody {
+			addEdge(h, u.predIdx[b.Pred], false)
+		}
+		for _, b := range r.NegBody {
+			addEdge(h, u.predIdx[b.Pred], true)
+		}
+	}
+	return adj, edges
+}
+
+// negationCycles returns the predicate components containing an internal
+// negative dependency — the predicates whose truth values can only be
+// settled by genuine well-founded evaluation (PR 5's modular solver
+// extracts exactly these components for the full WFS fixpoint; everything
+// else takes a stratified least-fixpoint pass).
+func negationCycles(u *universe) [][]string {
+	adj, edges := predGraph(u)
+	comps := sccs(adj)
+	comp := componentOf(len(adj), comps)
+	cyclic := make(map[int]bool)
+	for _, e := range edges {
+		if e.neg && comp[e.from] == comp[e.to] {
+			cyclic[comp[e.from]] = true
+		}
+	}
+	var out [][]string
+	for ci, c := range comps {
+		if !cyclic[ci] {
+			continue
+		}
+		names := make([]string, len(c))
+		for i, v := range c {
+			names[i] = u.name(u.preds[v])
+		}
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// position numbering for the weak-acyclicity graph: node per (predicate,
+// argument index) over the predicates referenced by rules.
+type positions struct {
+	offset map[atom.PredID]int
+	total  int
+}
+
+func newPositions(u *universe) *positions {
+	ps := &positions{offset: make(map[atom.PredID]int)}
+	for _, p := range u.preds {
+		ps.offset[p] = ps.total
+		ps.total += u.prog.Store.PredArity(p)
+	}
+	return ps
+}
+
+func (ps *positions) at(p atom.PredID, i int) int { return ps.offset[p] + i }

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders the report for terminals (wfslint, the REPL's :lint).
+// Verbose additionally lists the per-rule structural facts and the
+// certificate's per-predicate bounds.
+func (r *Report) Format(verbose bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d rule%s, %d fact%s, %d predicate%s",
+		r.Rules, plural(r.Rules), r.Facts, plural(r.Facts), r.Preds, plural(r.Preds))
+	if r.Constraints > 0 {
+		fmt.Fprintf(&b, ", %d constraint%s", r.Constraints, plural(r.Constraints))
+	}
+	if r.EGDs > 0 {
+		fmt.Fprintf(&b, ", %d EGD%s", r.EGDs, plural(r.EGDs))
+	}
+	b.WriteByte('\n')
+
+	if len(r.Classes) > 0 {
+		fmt.Fprintf(&b, "termination: chase terminates (%s)\n", strings.Join(r.Classes, ", "))
+	} else {
+		b.WriteString("termination: not statically provable (no acyclicity class applies)\n")
+	}
+	if c := r.Certificate; c != nil {
+		fmt.Fprintf(&b, "certificate: chase depth ≤ %d (%s) — engine answers exactly, no guard band\n",
+			c.DepthBound, c.Class)
+		if verbose && len(c.PredBounds) > 0 {
+			preds := make([]string, 0, len(c.PredBounds))
+			for p := range c.PredBounds {
+				preds = append(preds, p)
+			}
+			sort.Slice(preds, func(i, j int) bool {
+				if c.PredBounds[preds[i]] != c.PredBounds[preds[j]] {
+					return c.PredBounds[preds[i]] < c.PredBounds[preds[j]]
+				}
+				return preds[i] < preds[j]
+			})
+			for _, p := range preds {
+				fmt.Fprintf(&b, "  depth(%s) ≤ %d\n", p, c.PredBounds[p])
+			}
+		}
+	}
+	if r.Stratified {
+		b.WriteString("stratified: yes (well-founded model is two-valued)\n")
+	} else {
+		b.WriteString("stratified: no\n")
+	}
+
+	for _, d := range r.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	if verbose {
+		for _, ri := range r.RuleInfo {
+			flags := make([]string, 0, 3)
+			if ri.Linear {
+				flags = append(flags, "linear")
+			}
+			if ri.Existential {
+				flags = append(flags, "existential")
+			}
+			if ri.Negated {
+				flags = append(flags, "negated")
+			}
+			if len(flags) == 0 {
+				flags = append(flags, "plain")
+			}
+			fmt.Fprintf(&b, "rule %d (line %d): head %s, guard %s [%s]\n",
+				ri.Idx, ri.Line, ri.HeadPred, ri.GuardPred, strings.Join(flags, ", "))
+		}
+	}
+	nerr, nwarn, ninfo := r.Counts()
+	fmt.Fprintf(&b, "diagnostics: %d error%s, %d warning%s, %d info\n",
+		nerr, plural(nerr), nwarn, plural(nwarn), ninfo)
+	return b.String()
+}

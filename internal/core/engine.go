@@ -96,6 +96,21 @@ type Options struct {
 	// Lemmas 10/11 handle; see DESIGN.md §2). Zero selects 2. Ignored
 	// for exact (saturated) models.
 	GuardBand int
+
+	// CertifiedDepth, when positive, is a statically proven chase depth
+	// bound for the loaded program (analysis.Certify): every derivable
+	// atom has depth ≤ CertifiedDepth and the bounded chase run there is
+	// complete. When the certified bound fits under the resolved MaxDepth
+	// ceiling, withDefaults collapses the adaptive ladder to the single
+	// certified rung (AdaptiveStart = MaxDepth = Depth = CertifiedDepth)
+	// and models evaluated at that depth are exact — no guard band, no
+	// deepening. A bound above MaxDepth leaves the heuristic schedule
+	// untouched: MaxDepth stays a resource ceiling.
+	CertifiedDepth int
+	// NoCertify tells load paths to skip certification entirely (keep the
+	// heuristic ladder even for provably bounded programs). Consumed by
+	// wfs.LoadWithOptions; the engine itself only reads CertifiedDepth.
+	NoCertify bool
 }
 
 // DefaultDepth is the chase depth used by Evaluate when unset.
@@ -151,6 +166,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDepth <= 0 {
 		o.MaxDepth = 24
+	}
+	if o.CertifiedDepth > 0 && o.CertifiedDepth <= o.MaxDepth {
+		// A certified bound within the resource ceiling collapses the
+		// schedule to one exact rung; see Options.CertifiedDepth.
+		o.AdaptiveStart = o.CertifiedDepth
+		o.MaxDepth = o.CertifiedDepth
+		o.Depth = o.CertifiedDepth
 	}
 	return o
 }
@@ -480,11 +502,15 @@ func modelFromTraced(opts Options, res *chase.Result, gp *ground.Program, depth 
 // ground model.
 func wrapModel(opts Options, res *chase.Result, gp *ground.Program, gm *ground.Model, depth int) *Model {
 	stats := res.ComputeStats()
+	// Exact when the chase visibly saturated below the cap, or when a
+	// static certificate proves depth is a true bound (the chase may then
+	// derive atoms at exactly the bound, but nothing beyond exists).
+	certified := opts.CertifiedDepth > 0 && depth >= opts.CertifiedDepth
 	m := &Model{
 		Chase: res,
 		GP:    gp,
 		GM:    gm,
-		Exact: !res.Truncated && stats.MaxDepth < depth,
+		Exact: !res.Truncated && (stats.MaxDepth < depth || certified),
 	}
 	if m.Exact {
 		m.UsableDepth = -1

@@ -226,12 +226,12 @@ func compileClause(prog *Program, r *parser.Rule, st *atom.Store) error {
 	if err != nil {
 		return wrap(err)
 	}
-	return addRule(prog, st, parser.FormatRule(r), env, pos, neg, numUniv, head, wrap)
+	return addRule(prog, st, r.Line, parser.FormatRule(r), env, pos, neg, numUniv, head, wrap)
 }
 
 // addRule performs guard selection and Skolemization of head slots beyond
 // numUniv, then appends the rule.
-func addRule(prog *Program, st *atom.Store, label string, env *varEnv,
+func addRule(prog *Program, st *atom.Store, line int, label string, env *varEnv,
 	pos, neg []atom.Pattern, numUniv int, head atom.Pattern, wrap func(error) error) error {
 	g := findGuard(pos, numUniv)
 	if g < 0 {
@@ -258,6 +258,7 @@ func addRule(prog *Program, st *atom.Store, label string, env *varEnv,
 	}
 	prog.Rules = append(prog.Rules, &Rule{
 		Idx:      idx,
+		Line:     line,
 		Label:    label,
 		Head:     head,
 		PosBody:  pos,
@@ -314,7 +315,7 @@ func compileMultiHead(prog *Program, r *parser.Rule, st *atom.Store, env *varEnv
 	}
 	auxHead := atom.Pattern{Pred: auxPred, Args: auxArgs}
 	label := parser.FormatRule(r)
-	if err := addRule(prog, st, label+"  % [head-normalized: "+auxName+"]",
+	if err := addRule(prog, st, r.Line, label+"  % [head-normalized: "+auxName+"]",
 		env, pos, neg, numUniv, auxHead, wrap); err != nil {
 		return err
 	}
@@ -341,7 +342,7 @@ func compileMultiHead(prog *Program, r *parser.Rule, st *atom.Store, env *varEnv
 			}
 		}
 		lbl := fmt.Sprintf("%s  %% [head-normalized %d/%d]", label, i+1, len(headPats))
-		if err := addRule(prog, st, lbl, env2, []atom.Pattern{auxPat}, nil, len(env2.names), h2, wrap); err != nil {
+		if err := addRule(prog, st, r.Line, lbl, env2, []atom.Pattern{auxPat}, nil, len(env2.names), h2, wrap); err != nil {
 			return err
 		}
 	}

@@ -56,6 +56,7 @@ type ExistVar struct {
 // functors over the rule's universal variables.
 type Rule struct {
 	Idx      int    // position within the program
+	Line     int    // source line (1-based; 0 for synthesized rules)
 	Label    string // pretty-printed source form
 	Head     atom.Pattern
 	PosBody  []atom.Pattern // guard first (Guard == 0 after compilation)

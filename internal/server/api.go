@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	wfs "repro"
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
@@ -43,6 +44,9 @@ type SessionOptions struct {
 	StabilityWindow int    `json:"stability_window,omitempty"`
 	MaxDepth        int    `json:"max_depth,omitempty"`
 	GuardBand       int    `json:"guard_band,omitempty"`
+	// NoCertify keeps the heuristic adaptive ladder even when static
+	// analysis certifies a chase depth bound (see wfs.Options.NoCertify).
+	NoCertify bool `json:"no_certify,omitempty"`
 }
 
 // toOptions translates the JSON options into engine options.
@@ -59,6 +63,7 @@ func (o *SessionOptions) toOptions() (wfs.Options, error) {
 		StabilityWindow: o.StabilityWindow,
 		MaxDepth:        o.MaxDepth,
 		GuardBand:       o.GuardBand,
+		NoCertify:       o.NoCertify,
 	}
 	switch o.Algorithm {
 	case "", "alternating-fixpoint":
@@ -89,6 +94,58 @@ type SessionInfo struct {
 	Facts     int    `json:"facts"`
 	Epoch     uint64 `json:"epoch"`
 	Queries   int    `json:"embedded_queries"`
+}
+
+// AnalysisInfo is the JSON summary of the load-time static-analysis
+// report (wfs.System.Analysis): termination classification, the
+// certified chase depth bound (0 = no certificate), and the diagnostic
+// tally. Diagnostics carries the Warning-and-above findings in create
+// responses; Info findings are available through wfslint.
+type AnalysisInfo struct {
+	Classes        []string              `json:"classes,omitempty"`
+	Terminates     bool                  `json:"terminates"`
+	CertifiedDepth int                   `json:"certified_depth,omitempty"`
+	Stratified     bool                  `json:"stratified"`
+	Errors         int                   `json:"errors"`
+	Warnings       int                   `json:"warnings"`
+	Infos          int                   `json:"infos"`
+	Diagnostics    []analysis.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// analysisDTO summarizes a report; withDiags attaches the Warning-and-
+// above diagnostics (Error findings never reach a stored session — they
+// are rejected at create — but Restore'd sessions may carry them).
+func analysisDTO(rep *analysis.Report, withDiags bool) *AnalysisInfo {
+	if rep == nil {
+		return nil
+	}
+	nerr, nwarn, ninfo := rep.Counts()
+	out := &AnalysisInfo{
+		Classes:    rep.Classes,
+		Terminates: rep.Terminates,
+		Stratified: rep.Stratified,
+		Errors:     nerr,
+		Warnings:   nwarn,
+		Infos:      ninfo,
+	}
+	if rep.Certificate != nil {
+		out.CertifiedDepth = rep.Certificate.DepthBound
+	}
+	if withDiags {
+		for _, d := range rep.Diagnostics {
+			if d.Severity >= analysis.Warning {
+				out.Diagnostics = append(out.Diagnostics, d)
+			}
+		}
+	}
+	return out
+}
+
+// CreateSessionResponse is the 201 body of session creation: the session
+// info plus the static-analysis summary with any warnings.
+type CreateSessionResponse struct {
+	SessionInfo
+	Analysis *AnalysisInfo `json:"analysis,omitempty"`
 }
 
 // SessionListResponse lists live sessions.
@@ -222,11 +279,12 @@ type SessionStatsResponse struct {
 	Stratified bool                      `json:"stratified"`
 	DeltaBound string                    `json:"delta_bound"`
 	DeltaBits  int                       `json:"delta_bits"`
+	Analysis   *AnalysisInfo             `json:"analysis,omitempty"`
 	Model      ModelStats                `json:"model"`
 	Engine     wfs.EngineMetricsSnapshot `json:"engine"`
 }
 
-func sessionStatsDTO(name string, st wfs.Stats, em wfs.EngineMetricsSnapshot) SessionStatsResponse {
+func sessionStatsDTO(name string, st wfs.Stats, em wfs.EngineMetricsSnapshot, rep *analysis.Report) SessionStatsResponse {
 	return SessionStatsResponse{
 		Name:       name,
 		Facts:      st.Facts,
@@ -235,6 +293,7 @@ func sessionStatsDTO(name string, st wfs.Stats, em wfs.EngineMetricsSnapshot) Se
 		Stratified: st.Stratified,
 		DeltaBound: st.DeltaBound,
 		DeltaBits:  st.DeltaBits,
+		Analysis:   analysisDTO(rep, false),
 		Engine:     em,
 		Model: ModelStats{
 			Depth:           st.Model.Depth,
@@ -308,7 +367,11 @@ type WALStats struct {
 	TornTails                  int64   `json:"torn_tails"`
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body. Diagnostics is present only
+// when a program was rejected at session creation for Error-severity
+// static-analysis findings; it then carries the full structured report
+// (all severities) so clients can render line-accurate messages.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error       string                `json:"error"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }

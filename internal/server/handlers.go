@@ -58,7 +58,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		SessionInfo: s.sessionInfo(sess),
+		Analysis:    analysisDTO(sess.Sys.Analysis(), true),
+	})
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
@@ -405,5 +408,5 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK,
-		sessionStatsDTO(sess.Name, sess.Sys.Stats(), sess.Sys.Metrics().Read()))
+		sessionStatsDTO(sess.Name, sess.Sys.Stats(), sess.Sys.Metrics().Read(), sess.Sys.Analysis()))
 }

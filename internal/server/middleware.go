@@ -107,9 +107,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // nothing to do about a broken connection
 }
 
-// writeError writes the uniform JSON error body.
+// writeError writes the uniform JSON error body, attaching structured
+// diagnostics when the failure is a static-analysis rejection.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	resp := ErrorResponse{Error: err.Error()}
+	var diag *ErrProgramDiagnostics
+	if errors.As(err, &diag) {
+		resp.Diagnostics = diag.Diagnostics
+	}
+	writeJSON(w, status, resp)
 }
 
 // readJSON decodes the request body into v, bounded to maxBytes, and

@@ -74,6 +74,7 @@ const winMove = `
 
 const authorship = `
 	scientist(john).
+	conferencePaper(pods13).
 	scientist(X) -> isAuthorOf(X, Y).
 	conferencePaper(X) -> article(X).
 `
@@ -294,7 +295,7 @@ func TestSessionStats(t *testing.T) {
 	if code := c.do("GET", "/v1/sessions/s/stats", nil, &st); code != 200 {
 		t.Fatalf("session stats: status %d", code)
 	}
-	if st.Name != "s" || st.Facts != 1 {
+	if st.Name != "s" || st.Facts != 2 {
 		t.Errorf("stats identity: %+v", st)
 	}
 	if !st.Stratified {
@@ -319,7 +320,9 @@ func TestSessionOptions(t *testing.T) {
 	req := CreateSessionRequest{
 		Name:    "r",
 		Program: winMove,
-		Options: &SessionOptions{Algorithm: "remainder", Depth: 4},
+		// NoCertify: win-move certifies at depth 1, which would clamp the
+		// explicit Depth below; this test checks option passthrough.
+		Options: &SessionOptions{Algorithm: "remainder", Depth: 4, NoCertify: true},
 	}
 	if code := c.do("POST", "/v1/sessions", req, nil); code != 201 {
 		t.Fatalf("create with options: status %d", code)
@@ -535,5 +538,91 @@ func TestMutationPrunesStaleCacheEntries(t *testing.T) {
 	c.do("GET", "/v1/stats", nil, &ss)
 	if ss.Cache.Entries != 0 {
 		t.Errorf("cache entries after mutation = %d, want 0 (stale epochs pruned)", ss.Cache.Entries)
+	}
+}
+
+// TestCreateRejectsAnalysisErrors: a program whose rule references a
+// predicate with no facts and no derivation compiles, but analysis flags
+// it as an Error — creation must 400 with the structured diagnostics,
+// and no session may be left behind.
+func TestCreateRejectsAnalysisErrors(t *testing.T) {
+	c := newTestClient(t, Config{})
+	broken := `
+		scientist(john).
+		conferencePaper(X) -> article(X).
+	`
+	var er ErrorResponse
+	code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "b", Program: broken}, &er)
+	if code != http.StatusBadRequest {
+		t.Fatalf("create: status %d, want 400", code)
+	}
+	if len(er.Diagnostics) == 0 {
+		t.Fatalf("400 body carries no diagnostics: %+v", er)
+	}
+	found := false
+	for _, d := range er.Diagnostics {
+		if d.Code == "unsatisfiable-rule" && strings.Contains(d.Message, "conferencePaper") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics lack the unsatisfiable-rule finding: %+v", er.Diagnostics)
+	}
+	if !strings.Contains(er.Error, "error diagnostic") {
+		t.Errorf("error message not descriptive: %q", er.Error)
+	}
+	// The rejected name is free for reuse.
+	if code := c.do("GET", "/v1/sessions/b", nil, nil); code != http.StatusNotFound {
+		t.Errorf("rejected session visible: status %d", code)
+	}
+	c.mustCreate("b", winMove)
+}
+
+// TestCreateReturnsAnalysisSummary: a healthy program's 201 carries the
+// analysis block (classes, certificate, counts), and warnings ride along
+// without failing the create.
+func TestCreateReturnsAnalysisSummary(t *testing.T) {
+	c := newTestClient(t, Config{})
+
+	var resp CreateSessionResponse
+	code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "w", Program: winMove}, &resp)
+	if code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	a := resp.Analysis
+	if a == nil {
+		t.Fatal("201 body lacks analysis block")
+	}
+	if a.CertifiedDepth != 1 || !a.Terminates {
+		t.Errorf("win-move should certify at depth 1: %+v", a)
+	}
+	if a.Errors != 0 || len(a.Diagnostics) != 0 {
+		t.Errorf("unexpected diagnostics: %+v", a)
+	}
+
+	// vacuous negation: warning in the body, create still succeeds.
+	warny := `
+		a(1).
+		a(X), not ghost(X) -> b(X).
+	`
+	var wr CreateSessionResponse
+	if code := c.do("POST", "/v1/sessions", CreateSessionRequest{Name: "v", Program: warny}, &wr); code != http.StatusCreated {
+		t.Fatalf("warning program rejected: status %d", code)
+	}
+	if wr.Analysis == nil || wr.Analysis.Warnings != 1 || len(wr.Analysis.Diagnostics) != 1 {
+		t.Fatalf("warnings missing from create body: %+v", wr.Analysis)
+	}
+	if wr.Analysis.Diagnostics[0].Code != "vacuous-negation" {
+		t.Errorf("diagnostic = %+v", wr.Analysis.Diagnostics[0])
+	}
+
+	// The stats endpoint repeats the summary (without diagnostics).
+	var st SessionStatsResponse
+	c.do("GET", "/v1/sessions/w/stats", nil, &st)
+	if st.Analysis == nil || st.Analysis.CertifiedDepth != 1 {
+		t.Errorf("stats analysis block = %+v", st.Analysis)
+	}
+	if len(st.Analysis.Diagnostics) != 0 {
+		t.Errorf("stats should summarize, not list diagnostics: %+v", st.Analysis)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	wfs "repro"
+	"repro/internal/analysis"
 	"repro/internal/wal"
 )
 
@@ -115,6 +116,26 @@ func (e *ErrTooManySessions) Error() string {
 	return fmt.Sprintf("server: session limit reached (%d)", e.Max)
 }
 
+// ErrProgramDiagnostics reports a program rejected at session creation
+// for Error-severity static-analysis findings (e.g. a rule over a
+// predicate with no facts and no derivation). Diagnostics carries the
+// full report, all severities, for the structured 400 body.
+type ErrProgramDiagnostics struct{ Diagnostics []analysis.Diagnostic }
+
+func (e *ErrProgramDiagnostics) Error() string {
+	nerr := 0
+	first := ""
+	for _, d := range e.Diagnostics {
+		if d.Severity == analysis.Error {
+			nerr++
+			if first == "" {
+				first = d.String()
+			}
+		}
+	}
+	return fmt.Sprintf("server: program rejected: %d error diagnostic(s), first: %s", nerr, first)
+}
+
 // Create compiles src under opts and registers it under name. Compilation
 // runs outside the registry lock so a slow load never blocks lookups; the
 // name is reserved first so two racing creates cannot both win.
@@ -150,6 +171,13 @@ func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) 
 	sys, err := wfs.LoadWithOptions(src, opts)
 	if err != nil {
 		return nil, err
+	}
+	// Reject programs with Error-severity analysis findings before any
+	// durable state (WAL checkpoint) is created: such a program compiles
+	// but contains rules that can never fire — almost always a typo'd
+	// predicate — and serving it would silently answer False forever.
+	if rep := sys.Analysis(); rep != nil && rep.HasErrors() {
+		return nil, &ErrProgramDiagnostics{Diagnostics: rep.Diagnostics}
 	}
 	sess := &Session{Name: name, CreatedAt: r.now(), Sys: sys, src: src, opts: opts, id: sessionIDs.Add(1)}
 	if r.wal != nil {

@@ -3,6 +3,7 @@ package wfs
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/atom"
 	"repro/internal/program"
 	"repro/internal/term"
@@ -50,9 +51,6 @@ func (s *System) DumpState() (facts []FactRef, epoch uint64) {
 // checkpoint (System.Apply bumps the epoch by one per batch, matching the
 // epochs a CommitHook observed) reproduces the pre-crash system state.
 func Restore(src string, opts Options, facts []FactRef, epoch uint64) (*System, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
 	st := atom.NewStore(term.NewStore())
 	prog, _, queries, err := program.CompileText(src, st)
 	if err != nil {
@@ -70,5 +68,16 @@ func Restore(src string, opts Options, facts []FactRef, epoch uint64) (*System, 
 		}
 		db = append(db, st.Atom(p, ts))
 	}
-	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts, epoch: epoch}, nil
+	// Mirror LoadWithOptions: analyze the restored program+database and
+	// re-derive the certified depth (the certificate is data-independent,
+	// but diagnostics depend on the restored EDB signature).
+	rep := analysis.Analyze(prog, db, queries)
+	opts.CertifiedDepth = 0
+	if !opts.NoCertify && rep.Certificate != nil {
+		opts.CertifiedDepth = rep.Certificate.DepthBound
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts, epoch: epoch, analysis: rep}, nil
 }

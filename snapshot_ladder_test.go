@@ -116,7 +116,9 @@ func sorted(xs []string) []string {
 // TestRungAtOffScheduleError: an off-schedule depth yields an error, not
 // a panic — a serving process must never crash on a schedule mismatch.
 func TestRungAtOffScheduleError(t *testing.T) {
-	sys, err := Load(gameSrc)
+	// NoCertify keeps the heuristic 4,6,…,24 ladder: certification would
+	// collapse this (guard-acyclic) program's schedule to one rung.
+	sys, err := LoadWithOptions(gameSrc, Options{NoCertify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,9 @@ func TestRungAtOffScheduleError(t *testing.T) {
 // MaxDepth resolves to an empty deepening schedule; loading must fail
 // loudly instead of every later Answer silently returning False.
 func TestLoadRejectsEmptyLadder(t *testing.T) {
-	_, err := LoadWithOptions(gameSrc, Options{GuardBand: 30})
+	// NoCertify: certification would rescue the schedule by collapsing it
+	// to the certified rung (that rescue is tested separately).
+	_, err := LoadWithOptions(gameSrc, Options{GuardBand: 30, NoCertify: true})
 	if err == nil {
 		t.Fatal("LoadWithOptions accepted an empty adaptive ladder")
 	}
@@ -143,7 +147,7 @@ func TestLoadRejectsEmptyLadder(t *testing.T) {
 		t.Errorf("error not descriptive: %v", err)
 	}
 	// Raising MaxDepth makes the same guard band loadable.
-	sys, err := LoadWithOptions(gameSrc, Options{GuardBand: 30, MaxDepth: 40})
+	sys, err := LoadWithOptions(gameSrc, Options{GuardBand: 30, MaxDepth: 40, NoCertify: true})
 	if err != nil {
 		t.Fatalf("satisfiable schedule rejected: %v", err)
 	}
@@ -164,7 +168,10 @@ func TestTrueFactsRespectGuardBand(t *testing.T) {
 	for i := 0; i < links; i++ {
 		fmt.Fprintf(&b, "d%d(X) -> d%d(X).\n", i, i+1)
 	}
-	sys, err := Load(b.String())
+	// NoCertify: the chain certifies at depth 12, which would make the
+	// model exact and vacuously pass this test. The companion test
+	// TestCertifiedChainRendersEverything covers the certified path.
+	sys, err := LoadWithOptions(b.String(), Options{NoCertify: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,6 +62,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/atom"
 	"repro/internal/core"
 	"repro/internal/ground"
@@ -97,6 +98,12 @@ type System struct {
 
 	opts Options
 
+	// analysis is the load-time static report: termination classes,
+	// chase-termination certificate, and diagnostics. Immutable after
+	// load (the certificate and diagnostics are data-independent, so
+	// fact mutations do not invalidate them).
+	analysis *analysis.Report
+
 	// mu serializes mutations (AddFact, LoadCSV) and snapshot
 	// construction; snapshot readers only take the write side when the
 	// snapshot must be rebuilt after a write, and cheap metadata
@@ -131,17 +138,38 @@ func Load(src string) (*System, error) { return LoadWithOptions(src, Options{}) 
 // schedule that is empty after defaults resolve, e.g. Options{GuardBand:
 // 30} against the default MaxDepth 24 — are rejected here (see
 // core.Options.Validate) instead of silently answering False later.
+//
+// Loading always runs the static-analysis pass (see System.Analysis);
+// when it certifies a chase depth bound and opts.NoCertify is unset, the
+// engine clamps its adaptive ladder to the certified depth and answers
+// exactly (core.Options.CertifiedDepth). Analysis diagnostics — even
+// Error-severity ones — do not fail the load; callers that want to
+// reject broken programs check sys.Analysis().HasErrors() (wfsd does).
 func LoadWithOptions(src string, opts Options) (*System, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
 	st := atom.NewStore(term.NewStore())
 	prog, db, queries, err := program.CompileText(src, st)
 	if err != nil {
 		return nil, err
 	}
-	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts}, nil
+	rep := analysis.Analyze(prog, db, queries)
+	opts.CertifiedDepth = 0
+	if !opts.NoCertify && rep.Certificate != nil {
+		opts.CertifiedDepth = rep.Certificate.DepthBound
+	}
+	// Validate after certification: a certified bound can rescue an
+	// otherwise-empty deepening schedule by collapsing it to one rung.
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{store: st, prog: prog, db: db, queries: queries, opts: opts, analysis: rep}, nil
 }
+
+// Analysis returns the load-time static-analysis report: termination
+// classes, the chase-termination certificate (if any), negation cycles,
+// and diagnostics. The report is immutable and data-independent — fact
+// mutations never invalidate it. Never nil for systems built by Load,
+// LoadWithOptions, or Restore.
+func (s *System) Analysis() *analysis.Report { return s.analysis }
 
 // Snapshot returns the current immutable evaluated view of the system,
 // building it if a write invalidated the previous one. The returned
