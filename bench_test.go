@@ -19,6 +19,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/strat"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 func mustCompile(b *testing.B, src string) (*program.Program, program.Database, *atom.Store) {
@@ -233,6 +234,45 @@ func BenchmarkParallelAnswer(b *testing.B) {
 					b.Errorf("answer = %v (%v)", ans, err)
 					return
 				}
+			}
+		})
+	})
+
+	// recorder — the flight-recorder tax on the same warm path: every
+	// answer is followed by a Record offer against a full reservoir, the
+	// server's steady state, where an unretained request costs one atomic
+	// increment plus one PRNG draw and never snapshots the span tree.
+	// benchguard.sh compares this against the snapshot sub-bench from the
+	// same run (budget: <= 5%).
+	b.Run("recorder", func(b *testing.B) {
+		sys, err := Load(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Answer(q); err != nil {
+			b.Fatal(err)
+		}
+		rec := trace.NewRecorder(16, 0)
+		for i := 0; i < 64; i++ { // fill the reservoir: steady-state reject path
+			rec.Record(&trace.RequestTrace{TraceID: fmt.Sprintf("%032x", i), Status: 200, DurationUS: 100})
+		}
+		rt := &trace.RequestTrace{TraceID: strings.Repeat("ab", 16), Status: 200, DurationUS: 100}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if ans, err := snap.Answer(q); err != nil || ans != True {
+					b.Errorf("answer = %v (%v)", ans, err)
+					return
+				}
+				rec.Record(rt)
 			}
 		})
 	})

@@ -8,7 +8,7 @@
 //
 //	wfsd [-addr :8080] [-max-sessions N] [-cache-size N]
 //	     [-max-concurrent N] [-max-queue-wait 5s] [-slow-query 0]
-//	     [-access-log] [-pprof-addr :6060]
+//	     [-access-log] [-pprof-addr :6060] [-trace-buffer N]
 //	     [-data-dir DIR] [-checkpoint-every N] [-fsync=true]
 //	     [-preload prog.dl [-preload-name default]]
 //
@@ -25,7 +25,12 @@
 // ?trace=1 on the query endpoint returns a per-phase evaluation trace,
 // -slow-query logs uncached queries over the threshold with their phase
 // breakdown, and -pprof-addr serves net/http/pprof on a separate
-// listener (off by default; keep it private).
+// listener (off by default; keep it private). Every request carries a
+// W3C traceparent identity (continued from the caller's header or
+// minted); completed requests feed an in-memory flight recorder of
+// -trace-buffer entries with tail-based sampling (errors, slow queries,
+// and ?trace=1 requests are always kept), browsable at GET /v1/traces
+// and GET /v1/traces/{id}.
 //
 // Endpoints are listed in the package documentation of internal/server
 // and in README.md. SIGINT/SIGTERM trigger a graceful drain.
@@ -57,7 +62,8 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests (-1 = unlimited)")
 		maxQueueWait  = flag.Duration("max-queue-wait", server.DefaultMaxQueueWait, "max wait for a concurrency slot before 429 (-1s = unbounded)")
 		slowQuery     = flag.Duration("slow-query", 0, "log uncached queries slower than this with phase breakdown (0 = off)")
-		accessLog     = flag.Bool("access-log", false, "log one structured line per request")
+		accessLog     = flag.Bool("access-log", false, "log one structured line per request (includes trace_id)")
+		traceBuffer   = flag.Int("trace-buffer", server.DefaultTraceBufferSize, "flight-recorder capacity in retained request traces (-1 = disabled)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 		preload       = flag.String("preload", "", "program file to load at startup")
 		preloadName   = flag.String("preload-name", "default", "session name for -preload")
@@ -76,6 +82,7 @@ func main() {
 		MaxConcurrent:      *maxConcurrent,
 		MaxQueueWait:       *maxQueueWait,
 		SlowQueryThreshold: *slowQuery,
+		TraceBufferSize:    *traceBuffer,
 		Logger:             logger,
 	}
 	if *accessLog {

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] [-trace] file.dlg
+//	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] [-trace]
+//	         [-traceparent HDR] file.dlg
 //
 // The program file may embed queries ('? lit, ….'); additional queries can
 // be passed with -query (repeatable). -retract (repeatable) removes
@@ -11,6 +12,12 @@
 // apply as one atomic delta. With -model, the tool also prints the true
 // and undefined atoms of the model. With -trace, each -query prints a
 // per-phase evaluation trace (chase/ground/condense/solve timings).
+//
+// Every run carries a trace identity: a W3C traceparent, continued from
+// -traceparent when a well-formed header value is given (so a run
+// launched by a traced service shares its trace ID) or minted fresh.
+// -v and -trace print it as trace_id=..., the same identifier wfsd
+// stamps on access-log lines and flight-recorder entries.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	wfs "repro"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 type queryFlags []string
@@ -36,6 +44,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print adaptive-deepening traces")
 		traceEval = flag.Bool("trace", false, "print a per-phase evaluation trace for each -query")
 		explain   = flag.String("explain", "", "print a forward proof (Def. 5) of a ground atom, e.g. -explain 't(0)'")
+		parentHdr = flag.String("traceparent", "", "continue this W3C traceparent (malformed values mint a fresh trace ID)")
 		queries   queryFlags
 		retracts  queryFlags
 	)
@@ -46,6 +55,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: wfsquery [flags] program.dlg")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// One trace identity per run, continued from -traceparent when the
+	// caller passed a well-formed header value (malformed is never an
+	// error — the run proceeds under a fresh identity, mirroring wfsd).
+	tctx, ok := trace.ParseTraceparent(*parentHdr)
+	if ok {
+		tctx = tctx.WithNewSpan()
+	} else {
+		tctx = trace.MintContext()
+	}
+	if *verbose || *traceEval {
+		fmt.Printf("trace_id=%s\n", tctx.TraceIDString())
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))

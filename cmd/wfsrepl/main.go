@@ -33,6 +33,7 @@ import (
 
 	wfs "repro"
 	"repro/internal/parser"
+	"repro/internal/trace"
 )
 
 const help = `statements:
@@ -193,6 +194,10 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 					break
 				}
 				fmt.Fprintln(out, ans)
+				// Each traced query gets its own trace ID, in the same hex
+				// form wfsd stamps on logs and flight-recorder entries, so
+				// a REPL trace can be cited alongside server-side ones.
+				fmt.Fprintf(out, "trace_id=%s\n", trace.MintContext().TraceIDString())
 				fmt.Fprint(out, et.Format())
 				break
 			}

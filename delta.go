@@ -7,6 +7,7 @@ import (
 	"repro/internal/atom"
 	"repro/internal/program"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // Delta is a batch of database mutations — fact additions and
@@ -81,10 +82,28 @@ func factRefs(specs []factSpec) []FactRef {
 // mutate the argument slices beyond the call.
 type CommitHook func(epoch uint64, adds, retracts []FactRef) error
 
+// CommitHookTraced is a CommitHook that additionally receives the
+// mutating request's trace span (nil when the mutation is untraced), so
+// a durability hook can record its own phases — WAL append, fsync —
+// under the request's span tree.
+type CommitHookTraced func(epoch uint64, adds, retracts []FactRef, tr *trace.Span) error
+
 // SetCommitHook installs h as the system's commit hook (nil removes it).
 // Every mutation path — Apply, AddFact, RetractFact, LoadCSV — funnels
 // through the hook.
 func (s *System) SetCommitHook(h CommitHook) {
+	if h == nil {
+		s.SetCommitHookTraced(nil)
+		return
+	}
+	s.SetCommitHookTraced(func(epoch uint64, adds, retracts []FactRef, _ *trace.Span) error {
+		return h(epoch, adds, retracts)
+	})
+}
+
+// SetCommitHookTraced installs a trace-aware commit hook (nil removes
+// it). Semantics are identical to SetCommitHook.
+func (s *System) SetCommitHookTraced(h CommitHookTraced) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitHook = h
@@ -145,13 +164,18 @@ func ParseFact(src string) (pred string, args []string, err error) {
 // rebase of the cached evaluation state — the engine and the snapshot
 // ladder carry their chase, grounding, and model across the delta
 // instead of discarding them. An empty delta is a no-op (no epoch bump).
-func (s *System) Apply(d *Delta) error {
+func (s *System) Apply(d *Delta) error { return s.ApplyTraced(d, nil) }
+
+// ApplyTraced is Apply recording the mutation's phases — validation,
+// the commit hook's durability work, the in-memory commit — as children
+// of tr. A nil tr is Apply.
+func (s *System) ApplyTraced(d *Delta, tr *trace.Span) error {
 	if d == nil || d.Empty() {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyLocked(d.adds, d.retracts)
+	return s.applyLocked(d.adds, d.retracts, tr)
 }
 
 // RetractFact removes every database occurrence of the ground fact
@@ -160,16 +184,23 @@ func (s *System) Apply(d *Delta) error {
 func (s *System) RetractFact(pred string, args ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyLocked(nil, []factSpec{{pred: pred, args: args}})
+	return s.applyLocked(nil, []factSpec{{pred: pred, args: args}}, nil)
 }
 
 // applyLocked is the single mutation path: every database write —
 // AddFact, RetractFact, LoadCSV, Apply — funnels through it. Callers
-// must hold mu.
-func (s *System) applyLocked(adds, retracts []factSpec) error {
+// must hold mu. tr, when non-nil, receives the mutation's phase tree
+// under an "apply" child span.
+func (s *System) applyLocked(adds, retracts []factSpec, tr *trace.Span) error {
 	if len(adds) == 0 && len(retracts) == 0 {
 		return nil
 	}
+	ap := tr.Child("apply")
+	defer ap.End()
+	ap.SetCount("adds", int64(len(adds)))
+	ap.SetCount("retracts", int64(len(retracts)))
+	endValidate := ap.Phase("validate")
+	defer endValidate() // idempotent; covers the validation error returns
 	// Validate retractions first: pure lookups, nothing interned. The
 	// database membership set is built once for the batch, so validating
 	// R retractions costs O(n + R), not O(n·R).
@@ -222,15 +253,18 @@ func (s *System) applyLocked(adds, retracts []factSpec) error {
 			newPreds[f.pred] = len(f.args)
 		}
 	}
+	endValidate()
 	// Durability point: the batch is fully validated, nothing has
 	// interned or committed. A hook failure (e.g. the WAL could not
 	// fsync) rejects the mutation with the database untouched; a hook
 	// success guarantees the batch is durable before it becomes visible.
 	if s.commitHook != nil {
-		if err := s.commitHook(s.epoch+1, factRefs(adds), factRefs(retracts)); err != nil {
+		if err := s.commitHook(s.epoch+1, factRefs(adds), factRefs(retracts), ap); err != nil {
 			return fmt.Errorf("wfs: commit hook: %w", err)
 		}
 	}
+	endCommit := ap.Phase("commit")
+	defer endCommit()
 	added := make([]atom.AtomID, 0, len(adds))
 	for _, f := range adds {
 		p, err := s.store.Pred(f.pred, len(f.args))

@@ -21,6 +21,8 @@
 //	POST   /v1/sessions/{name}/truth      ground-atom truth {atom}
 //	POST   /v1/sessions/{name}/explain    forward proof {atom}
 //	GET    /v1/sessions/{name}/stats      engine/model stats
+//	GET    /v1/traces                      flight-recorder index (retained request traces)
+//	GET    /v1/traces/{id}                full recorded trace by trace ID
 package server
 
 import (
@@ -214,13 +216,16 @@ func answerStatsDTO(s *core.AnswerStats) *AnswerStats {
 
 // QueryResponse is the answer to an NBCQ. Trace is present only when
 // the request asked for one (?trace=1); traced responses bypass the
-// answer cache.
+// answer cache. TraceID accompanies the trace — the same evaluation is
+// pinned in the flight recorder and retrievable later at
+// GET /v1/traces/{trace_id}.
 type QueryResponse struct {
-	Query  string           `json:"query"` // normalized form
-	Answer string           `json:"answer"`
-	Cached bool             `json:"cached"`
-	Stats  *AnswerStats     `json:"stats,omitempty"`
-	Trace  *trace.EvalTrace `json:"trace,omitempty"`
+	Query   string           `json:"query"` // normalized form
+	Answer  string           `json:"answer"`
+	Cached  bool             `json:"cached"`
+	Stats   *AnswerStats     `json:"stats,omitempty"`
+	Trace   *trace.EvalTrace `json:"trace,omitempty"`
+	TraceID string           `json:"trace_id,omitempty"`
 }
 
 // SelectResponse is the certain-answer relation of a non-Boolean query.
@@ -371,7 +376,34 @@ type WALStats struct {
 // when a program was rejected at session creation for Error-severity
 // static-analysis findings; it then carries the full structured report
 // (all severities) so clients can render line-accurate messages.
+// TraceID is the request's trace identity (also on the X-Trace-Id
+// response header and the access-log line) so a failure report can cite
+// one identifier that correlates every artifact of the request.
 type ErrorResponse struct {
 	Error       string                `json:"error"`
+	TraceID     string                `json:"trace_id,omitempty"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// TraceSummary is one flight-recorder entry in the GET /v1/traces
+// index: identity, route, outcome, and why it was retained (Kept is
+// "error", "slow", "pinned", or "sampled").
+type TraceSummary struct {
+	TraceID string  `json:"trace_id"`
+	Route   string  `json:"route"`
+	Path    string  `json:"path,omitempty"`
+	Session string  `json:"session,omitempty"`
+	Status  int     `json:"status"`
+	Kept    string  `json:"kept"`
+	Error   string  `json:"error,omitempty"`
+	Start   string  `json:"start"` // RFC 3339 with nanoseconds
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// TraceIndexResponse is the GET /v1/traces body: retained traces,
+// newest first, plus the recorder's occupancy and bound.
+type TraceIndexResponse struct {
+	Traces   []TraceSummary `json:"traces"`
+	Entries  int            `json:"entries"`
+	Capacity int            `json:"capacity"`
 }

@@ -45,17 +45,17 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req CreateSessionRequest
 	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts, err := req.Options.toOptions()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.reg.Create(req.Name, req.Program, opts)
+	sess, err := s.reg.CreateTraced(req.Name, req.Program, opts, requestTrace(r).span())
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateSessionResponse{
@@ -78,7 +78,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
 	sess, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return nil
 	}
 	return sess
@@ -94,7 +94,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sess := s.reg.Delete(name)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, &ErrNoSession{Name: name})
+		writeError(w, r, http.StatusNotFound, &ErrNoSession{Name: name})
 		return
 	}
 	s.cache.DeleteSession(sess.ID())
@@ -110,16 +110,16 @@ func (s *Server) mutationFacts(w http.ResponseWriter, r *http.Request) (*Session
 	}
 	var req AddFactsRequest
 	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return nil, nil, false
 	}
 	if len(req.Facts) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("no facts given"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("no facts given"))
 		return nil, nil, false
 	}
 	for _, f := range req.Facts {
 		if f.Pred == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("fact with empty predicate"))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("fact with empty predicate"))
 			return nil, nil, false
 		}
 	}
@@ -137,13 +137,28 @@ func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
 	}
 	// One delta: all-or-nothing validation, one epoch bump, and the
 	// session's evaluation state rebased instead of discarded.
-	if err := sess.Sys.Apply(d); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+	root := requestTrace(r).span()
+	if err := sess.Sys.ApplyTraced(d, root); err != nil {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
 		return
 	}
+	s.warmAfterMutation(sess, root)
 	nFacts, epoch := sess.Sys.FactsEpoch()
 	s.cache.PruneStale(sess.ID(), epoch)
 	writeJSON(w, http.StatusOK, AddFactsResponse{Added: len(facts), Facts: nFacts, Epoch: epoch})
+}
+
+// warmAfterMutation eagerly rebases the session's already-materialized
+// evaluation state onto the post-mutation snapshot, under the mutating
+// request's span. Two effects: the delta-rebase cost lands in the
+// mutation's trace and latency (log-then-commit next to the rebase, per
+// the flight-recorder contract) instead of ambushing the next reader,
+// and models that were cold stay cold — this never triggers a fresh
+// build.
+func (s *Server) warmAfterMutation(sess *Session, root *trace.Span) {
+	if snap, err := sess.Sys.SnapshotTraced(root); err == nil {
+		snap.WarmRebased(root)
+	}
 }
 
 func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
@@ -155,10 +170,12 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 	for _, f := range facts {
 		d.Retract(f.Pred, f.Args...)
 	}
-	if err := sess.Sys.Apply(d); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+	root := requestTrace(r).span()
+	if err := sess.Sys.ApplyTraced(d, root); err != nil {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
 		return
 	}
+	s.warmAfterMutation(sess, root)
 	nFacts, epoch := sess.Sys.FactsEpoch()
 	s.cache.PruneStale(sess.ID(), epoch)
 	writeJSON(w, http.StatusOK, RetractResponse{Retracted: len(facts), Facts: nFacts, Epoch: epoch})
@@ -222,34 +239,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("trace") == "1" {
-		s.tracedQuery(w, sess, q, norm)
+		s.tracedQuery(w, r, sess, q, norm)
 		return
 	}
+	ht := requestTrace(r)
 	v, cached, err := s.cachedQuery(sess, "answer", norm, func(snap *wfs.Snapshot) (any, error) {
-		if s.cfg.SlowQueryThreshold <= 0 {
+		if s.cfg.SlowQueryThreshold <= 0 && s.recorder == nil {
 			ans, stats, err := snap.AnswerWithStats(q)
 			if err != nil {
 				return nil, err
 			}
 			return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
 		}
-		// Slow-query logging armed: run every uncached compute under a
-		// coarse trace so a threshold breach can log where the time
-		// went, not just that it was spent. Coarse tracing skips the
-		// per-SCC and per-depth detail, so its cost is a handful of
-		// span allocations per build — noise next to an actual build.
+		// Slow-query logging or the flight recorder armed: run every
+		// uncached compute under a coarse span hung off the request's
+		// root, so a threshold breach can log where the time went and a
+		// retained trace shows the evaluation, not a blank. Coarse
+		// tracing skips the per-SCC and per-depth detail, so its cost
+		// is a handful of span allocations per build — noise next to an
+		// actual build.
+		qspan := ht.span().Child("query")
+		if qspan == nil {
+			qspan = trace.New("query")
+		}
 		start := time.Now()
-		ans, stats, et, err := snap.TraceAnswerDetail(q, false)
+		ans, stats, err := snap.AnswerTraced(q, qspan)
+		qspan.End()
 		if err != nil {
 			return nil, err
 		}
-		if d := time.Since(start); d >= s.cfg.SlowQueryThreshold {
-			s.logSlow(sess.Name, norm, d, et)
+		if d := time.Since(start); s.cfg.SlowQueryThreshold > 0 && d >= s.cfg.SlowQueryThreshold {
+			ht.markSlow()
+			s.logSlow(ht, sess.Name, norm, d, qspan.Trace())
 		}
 		return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := v.(QueryResponse)
@@ -262,36 +288,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // point of tracing is to observe what this evaluation costs, and a
 // cached answer has no evaluation to observe. The response is never
 // stored, so the trace-carrying body cannot be replayed to an untraced
-// caller.
-func (s *Server) tracedQuery(w http.ResponseWriter, sess *Session, q *wfs.Query, norm string) {
+// caller. The detailed span tree hangs under the request's root and the
+// trace is pinned in the flight recorder, so it stays retrievable at
+// /v1/traces/{id} after the response is gone.
+func (s *Server) tracedQuery(w http.ResponseWriter, r *http.Request, sess *Session, q *wfs.Query, norm string) {
+	ht := requestTrace(r)
+	ht.pin()
 	snap, err := sess.Sys.Snapshot()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
+	}
+	qspan := ht.span().ChildDetailed("query")
+	if qspan == nil {
+		qspan = trace.NewDetailed("query")
 	}
 	start := time.Now()
-	ans, stats, et, err := snap.TraceAnswer(q)
+	ans, stats, err := snap.AnswerTraced(q, qspan)
+	qspan.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	et := qspan.Trace()
 	if d := time.Since(start); s.cfg.SlowQueryThreshold > 0 && d >= s.cfg.SlowQueryThreshold {
-		s.logSlow(sess.Name, norm, d, et)
+		ht.markSlow()
+		s.logSlow(ht, sess.Name, norm, d, et)
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
-		Query:  norm,
-		Answer: ans.String(),
-		Stats:  answerStatsDTO(stats),
-		Trace:  et,
+		Query:   norm,
+		Answer:  ans.String(),
+		Stats:   answerStatsDTO(stats),
+		Trace:   et,
+		TraceID: ht.TraceID(),
 	})
 }
 
 // logSlow emits the structured slow-query line with the compact phase
 // breakdown and bumps the counter surfaced in /v1/stats and /metrics.
-func (s *Server) logSlow(session, query string, d time.Duration, et *trace.EvalTrace) {
+// The trace_id ties the line to the flight-recorder entry (slow
+// breaches are always retained), so the full span tree behind a logged
+// line is one GET /v1/traces/{id} away.
+func (s *Server) logSlow(ht *reqTrace, session, query string, d time.Duration, et *trace.EvalTrace) {
 	s.slowQueries.Add(1)
-	s.cfg.Logger.Printf("slow-query session=%q query=%q dur=%s phases=%s",
-		session, query, d.Round(time.Microsecond), et.Compact())
+	s.cfg.Logger.Printf("slow-query trace_id=%s session=%q query=%q dur=%s phases=%s",
+		ht.TraceID(), session, query, d.Round(time.Microsecond), et.Compact())
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +354,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return SelectResponse{Query: norm, Vars: vars, Tuples: tuples}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := v.(SelectResponse)
@@ -334,7 +375,7 @@ func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 		return TruthResponse{Atom: norm, Truth: t.String()}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := v.(TruthResponse)
@@ -357,7 +398,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return ExplainResponse{Atom: norm, True: isTrue, Proof: proof}, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := v.(ExplainResponse)
@@ -377,7 +418,7 @@ func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string
 	}
 	var req QueryRequest
 	if err := readJSON(w, r, &req, s.cfg.MaxBodyBytes); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return nil, nil, "", false
 	}
 	src := req.Query
@@ -385,12 +426,12 @@ func (s *Server) queryInput(w http.ResponseWriter, r *http.Request, field string
 		src = req.Atom
 	}
 	if src == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
 		return nil, nil, "", false
 	}
 	q, err := wfs.Prepare(src)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return nil, nil, "", false
 	}
 	norm := q.String()

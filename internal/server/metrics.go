@@ -1,15 +1,19 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"runtime/metrics"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -91,12 +95,27 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrument wraps h with request observability: per-route latency and
-// status metrics, and (when cfg.AccessLogger is set) one structured
-// access-log line per request. routeOf resolves the registered mux
-// pattern for labeling, keeping metric cardinality bounded by the route
-// table rather than by raw request paths.
+// status metrics, the request's trace identity (parsed from an incoming
+// traceparent or minted fresh, echoed back as traceparent/X-Trace-Id
+// response headers), the flight-recorder feed, and (when
+// cfg.AccessLogger is set) one structured access-log line per request.
+// routeOf resolves the registered mux pattern for labeling, keeping
+// metric cardinality bounded by the route table rather than by raw
+// request paths.
 func (s *Server) instrument(routeOf func(*http.Request) string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeOf(r)
+		tctx, parent := incomingContext(r)
+		ht := &reqTrace{ctx: tctx, parent: parent}
+		if s.recorder != nil {
+			// The root span only exists when something retains it; with
+			// the recorder disabled requests keep the nil no-op tracer.
+			ht.root = trace.New(route)
+		}
+		r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, ht))
+		w.Header().Set("Traceparent", tctx.Traceparent())
+		w.Header().Set("X-Trace-Id", tctx.TraceIDString())
+
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		h.ServeHTTP(rec, r)
@@ -104,13 +123,33 @@ func (s *Server) instrument(routeOf func(*http.Request) string, h http.Handler) 
 		if rec.status == 0 {
 			rec.status = http.StatusOK // handler wrote nothing: implicit 200
 		}
-		route := routeOf(r)
 		s.httpMetrics.observe(route, rec.status, dur.Seconds())
+		session := sessionFromPath(r.URL.Path)
+		if s.recorder != nil {
+			ht.root.End()
+			slow, pinned := ht.flags()
+			s.recorder.Record(&trace.RequestTrace{
+				TraceID:       tctx.TraceIDString(),
+				SpanID:        tctx.SpanIDString(),
+				ParentID:      parent,
+				Route:         route,
+				Path:          r.URL.Path,
+				Session:       session,
+				Status:        rec.status,
+				Error:         ht.errorMsg(),
+				StartUnixNano: start.UnixNano(),
+				DurationUS:    dur.Microseconds(),
+				Span:          ht.root,
+				Slow:          slow,
+				Pinned:        pinned,
+			})
+		}
 		if s.cfg.AccessLogger != nil {
-			line := fmt.Sprintf("method=%s route=%q path=%q status=%d dur=%s",
-				r.Method, route, r.URL.Path, rec.status, dur.Round(time.Microsecond))
-			if name := sessionFromPath(r.URL.Path); name != "" {
-				line += " session=" + strconv.Quote(name)
+			line := fmt.Sprintf("method=%s route=%q path=%q status=%d dur=%s trace_id=%s",
+				r.Method, route, r.URL.Path, rec.status, dur.Round(time.Microsecond),
+				tctx.TraceIDString())
+			if session != "" {
+				line += " session=" + strconv.Quote(session)
 			}
 			s.cfg.AccessLogger.Print(line)
 		}
@@ -239,11 +278,104 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("wfsd_uptime_seconds", "Seconds since server start.", "gauge")
 	p.sample("wfsd_uptime_seconds", "", time.Since(s.started).Seconds())
 
+	s.writeTraceMetrics(p)
 	s.writeWALMetrics(p)
 	s.writeSessionMetrics(p)
+	writeRuntimeMetrics(p)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, p.b.String())
+}
+
+// writeTraceMetrics emits the flight recorder's retention telemetry:
+// how many traces were admitted by class, how many entries are held
+// against capacity, and the eviction churn — the numbers that say
+// whether an interesting trace is still retrievable.
+func (s *Server) writeTraceMetrics(p *promWriter) {
+	if s.recorder == nil {
+		return
+	}
+	st := s.recorder.Stats()
+	p.family("wfsd_trace_entries", "Request traces currently retained by the flight recorder.", "gauge")
+	p.sample("wfsd_trace_entries", "", float64(st.Entries))
+	p.family("wfsd_trace_capacity", "Flight recorder capacity in traces.", "gauge")
+	p.sample("wfsd_trace_capacity", "", float64(st.Capacity))
+	p.family("wfsd_trace_recorded_total", "Request traces admitted to the flight recorder, by retention class.", "counter")
+	for _, class := range []string{trace.KeptError, trace.KeptSlow, trace.KeptPinned, trace.KeptSampled} {
+		p.sample("wfsd_trace_recorded_total", promLabel("class", class), float64(st.Recorded[class]))
+	}
+	p.family("wfsd_trace_sampled_seen_total", "Routine requests offered to the trace reservoir (admitted or not).", "counter")
+	p.sample("wfsd_trace_sampled_seen_total", "", float64(st.SampleSeen))
+	p.family("wfsd_trace_evicted_total", "Request traces evicted from the flight recorder.", "counter")
+	p.sample("wfsd_trace_evicted_total", "", float64(st.Evicted))
+}
+
+// writeRuntimeMetrics emits Go process health from runtime/metrics:
+// goroutine count, heap gauges, and the GC pause histogram. The
+// histogram sum is approximated from bucket midpoints (runtime/metrics
+// exposes counts and boundaries, not an exact sum), which is the usual
+// convention for re-exported runtime histograms.
+func writeRuntimeMetrics(p *promWriter) {
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/goal:bytes"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	metrics.Read(samples)
+
+	emitGauge := func(i int, name, help, typ string) {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			return
+		}
+		p.family(name, help, typ)
+		p.sample(name, "", float64(samples[i].Value.Uint64()))
+	}
+	emitGauge(0, "go_goroutines", "Goroutines that currently exist.", "gauge")
+	emitGauge(1, "go_heap_live_bytes", "Bytes occupied by live heap objects.", "gauge")
+	emitGauge(2, "go_heap_goal_bytes", "Heap size target of the next GC cycle.", "gauge")
+	emitGauge(3, "go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", "counter")
+
+	if samples[4].Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	// The runtime histogram has hundreds of fine-grained buckets; fold it
+	// into a handful of scrape-friendly bounds.
+	bounds := []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	folded := make([]uint64, len(bounds))
+	h := samples[4].Value.Float64Histogram()
+	var count uint64
+	var sum float64
+	for i, c := range h.Counts {
+		count += c
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		// Approximate each bucket's mass by its midpoint; clamp the
+		// infinite edge buckets to their finite bound.
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		sum += float64(c) * mid
+		for j, ub := range bounds {
+			if hi <= ub {
+				folded[j] += c
+				break
+			}
+		}
+	}
+	p.family("go_gc_pause_seconds", "Stop-the-world GC pause latency.", "histogram")
+	var cum uint64
+	for j, ub := range bounds {
+		cum += folded[j]
+		p.sample("go_gc_pause_seconds_bucket", promLabel("le", formatFloat(ub)), float64(cum))
+	}
+	p.sample("go_gc_pause_seconds_bucket", promLabel("le", "+Inf"), float64(count))
+	p.sample("go_gc_pause_seconds_sum", "", sum)
+	p.sample("go_gc_pause_seconds_count", "", float64(count))
 }
 
 // writeWALMetrics emits the durability families. All counters are

@@ -72,12 +72,12 @@ func (l *limiter) awaitSlot(w http.ResponseWriter, r *http.Request) bool {
 	case <-timeout:
 		l.timeouts.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, r, http.StatusTooManyRequests,
 			fmt.Errorf("server busy: no capacity within %v", l.maxWait))
 		return false
 	case <-r.Context().Done():
 		l.canceled.Add(1)
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", r.Context().Err()))
+		writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", r.Context().Err()))
 		return false
 	}
 }
@@ -89,9 +89,10 @@ func recoverPanics(logger *log.Logger, h http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				if logger != nil {
-					logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+					logger.Printf("panic serving %s %s trace_id=%s: %v",
+						r.Method, r.URL.Path, requestTrace(r).TraceID(), v)
 				}
-				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				writeError(w, r, http.StatusInternalServerError, fmt.Errorf("internal error"))
 			}
 		}()
 		h.ServeHTTP(w, r)
@@ -107,10 +108,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // nothing to do about a broken connection
 }
 
-// writeError writes the uniform JSON error body, attaching structured
-// diagnostics when the failure is a static-analysis rejection.
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError writes the uniform JSON error body — stamped with the
+// request's trace_id so the caller can quote it when reporting the
+// failure — attaching structured diagnostics when the failure is a
+// static-analysis rejection. The error is also noted on the request's
+// trace holder for the flight recorder.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	resp := ErrorResponse{Error: err.Error()}
+	if ht := requestTrace(r); ht != nil {
+		resp.TraceID = ht.TraceID()
+		ht.setError(err.Error())
+	}
 	var diag *ErrProgramDiagnostics
 	if errors.As(err, &diag) {
 		resp.Diagnostics = diag.Diagnostics

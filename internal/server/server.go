@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -32,8 +33,14 @@ type Config struct {
 	MaxQueueWait time.Duration
 	// SlowQueryThreshold gates the slow-query log: uncached queries
 	// slower than this log one structured line with the phase
-	// breakdown. 0 disables.
+	// breakdown. 0 disables. The flight recorder also classifies
+	// requests over this threshold as slow (always retained).
 	SlowQueryThreshold time.Duration
+	// TraceBufferSize bounds the flight recorder (completed request
+	// traces retained for /v1/traces) in entries; 0 means
+	// DefaultTraceBufferSize, negative disables the recorder (requests
+	// still carry trace IDs, but no traces are retained).
+	TraceBufferSize int
 	// Logger receives panic and lifecycle logs; nil discards them.
 	Logger *log.Logger
 	// AccessLogger receives one structured line per request; nil
@@ -43,11 +50,12 @@ type Config struct {
 
 // Serving-layer defaults.
 const (
-	DefaultMaxSessions   = 1024
-	DefaultCacheSize     = 4096
-	DefaultMaxConcurrent = 64
-	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB: program text can be sizeable
-	DefaultMaxQueueWait  = 5 * time.Second
+	DefaultMaxSessions     = 1024
+	DefaultCacheSize       = 4096
+	DefaultMaxConcurrent   = 64
+	DefaultMaxBodyBytes    = 8 << 20 // 8 MiB: program text can be sizeable
+	DefaultMaxQueueWait    = 5 * time.Second
+	DefaultTraceBufferSize = 512
 )
 
 func (c Config) withDefaults() Config {
@@ -78,6 +86,12 @@ func (c Config) withDefaults() Config {
 	case c.MaxQueueWait < 0:
 		c.MaxQueueWait = 0 // limiter: 0 = wait unbounded
 	}
+	switch {
+	case c.TraceBufferSize == 0:
+		c.TraceBufferSize = DefaultTraceBufferSize
+	case c.TraceBufferSize < 0:
+		c.TraceBufferSize = 0 // recorder: 0 = disabled
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -95,6 +109,7 @@ type Server struct {
 	slowQueries atomic.Int64 // uncached queries over SlowQueryThreshold
 	limiter     *limiter
 	httpMetrics *httpMetrics
+	recorder    *trace.Recorder // flight recorder; nil = disabled
 	started     time.Time
 
 	// Durability (nil = in-memory only); set by OpenWAL before the
@@ -107,7 +122,7 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		reg:         NewRegistry(cfg.MaxSessions),
 		cache:       NewCache(cfg.CacheSize),
@@ -115,6 +130,12 @@ func New(cfg Config) *Server {
 		httpMetrics: newHTTPMetrics(),
 		started:     time.Now(),
 	}
+	if cfg.TraceBufferSize > 0 {
+		s.recorder = trace.NewRecorder(cfg.TraceBufferSize, cfg.SlowQueryThreshold)
+	}
+	// Background work (checkpoints) records its traces too.
+	s.reg.recorder = s.recorder
+	return s
 }
 
 // Registry exposes the session registry (for preloading at startup).
@@ -139,8 +160,15 @@ func (s *Server) OpenWAL(dir string, wopts wal.Options) (RecoveryStats, error) {
 	if err != nil {
 		return RecoveryStats{}, err
 	}
+	// Startup recovery is traced like a request and pinned into the
+	// flight recorder: "why did restart take 40 seconds" is answered by
+	// GET /v1/traces after the fact, per-session replay spans included.
+	var root *trace.Span
+	if s.recorder != nil {
+		root = trace.New("startup-recovery")
+	}
 	start := time.Now()
-	recs, skipped, err := m.Recover()
+	recs, skipped, err := m.RecoverTraced(root)
 	if err != nil {
 		return RecoveryStats{}, err
 	}
@@ -175,6 +203,18 @@ func (s *Server) OpenWAL(dir string, wopts wal.Options) (RecoveryStats, error) {
 	}
 	st.Duration = time.Since(start)
 	s.recovery = st
+	if s.recorder != nil {
+		root.End()
+		s.recorder.Record(&trace.RequestTrace{
+			TraceID:       trace.MintContext().TraceIDString(),
+			Route:         "internal/startup-recovery",
+			Status:        http.StatusOK,
+			StartUnixNano: start.UnixNano(),
+			DurationUS:    st.Duration.Microseconds(),
+			Span:          root,
+			Pinned:        true,
+		})
+	}
 	return st, nil
 }
 
@@ -256,6 +296,8 @@ func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	root.HandleFunc("GET /v1/stats", s.handleServerStats)
+	root.HandleFunc("GET /v1/traces", s.handleTraceIndex)
+	root.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.Handle("/", limited)
 

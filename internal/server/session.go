@@ -10,6 +10,7 @@ import (
 
 	wfs "repro"
 	"repro/internal/analysis"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -61,6 +62,11 @@ type Registry struct {
 	// Server.OpenWAL before the listener starts, never mutated after.
 	wal    *wal.Manager
 	logger *log.Logger
+
+	// recorder, when non-nil, receives traces of background durability
+	// work (checkpoints) that no HTTP request observes. Set once by
+	// server.New.
+	recorder *trace.Recorder
 }
 
 // NewRegistry returns an empty registry bounded to maxSessions.
@@ -140,6 +146,13 @@ func (e *ErrProgramDiagnostics) Error() string {
 // runs outside the registry lock so a slow load never blocks lookups; the
 // name is reserved first so two racing creates cannot both win.
 func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) {
+	return r.CreateTraced(name, src, opts, nil)
+}
+
+// CreateTraced is Create recording the load's phases — parse/compile,
+// static analysis, the initial WAL checkpoint — under tr. A nil tr is
+// Create.
+func (r *Registry) CreateTraced(name, src string, opts wfs.Options, tr *trace.Span) (*Session, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
@@ -168,7 +181,7 @@ func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) 
 		r.mu.Unlock()
 	}()
 
-	sys, err := wfs.LoadWithOptions(src, opts)
+	sys, err := wfs.LoadWithOptionsTraced(src, opts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -185,10 +198,12 @@ func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) 
 		// program text, options, the database as loaded, epoch 0. It is
 		// fsynced before the session becomes visible, so a crash right
 		// after a 201 recovers the session.
+		endDump := tr.Phase("dump-state")
 		facts, epoch := sys.DumpState()
-		lg, err := r.wal.Create(name, wal.Checkpoint{
+		endDump()
+		lg, err := r.wal.CreateTraced(name, wal.Checkpoint{
 			Source: src, Options: opts, Epoch: epoch, Facts: facts,
-		})
+		}, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -205,8 +220,8 @@ func (r *Registry) Create(name, src string, opts wfs.Options) (*Session, error) 
 // mutation — and schedule a background checkpoint when the un-
 // checkpointed log crosses its threshold.
 func (r *Registry) attachWAL(sess *Session) {
-	sess.Sys.SetCommitHook(func(epoch uint64, adds, retracts []wfs.FactRef) error {
-		if err := sess.wlog.Append(epoch, adds, retracts); err != nil {
+	sess.Sys.SetCommitHookTraced(func(epoch uint64, adds, retracts []wfs.FactRef, tr *trace.Span) error {
+		if err := sess.wlog.AppendTraced(epoch, adds, retracts, tr); err != nil {
 			return err
 		}
 		if sess.wlog.NeedCheckpoint() && sess.ckptBusy.CompareAndSwap(false, true) {
@@ -224,12 +239,38 @@ func (r *Registry) attachWAL(sess *Session) {
 	})
 }
 
-// checkpoint writes one full-state checkpoint of the session.
+// checkpoint writes one full-state checkpoint of the session. No HTTP
+// request observes this work (it runs in the background), so its trace
+// is recorded directly into the flight recorder under an internal
+// route; a failed checkpoint records as an error-class trace.
 func (r *Registry) checkpoint(sess *Session) error {
-	return sess.wlog.Checkpoint(func() wal.Checkpoint {
+	var root *trace.Span
+	if r.recorder != nil {
+		root = trace.New("checkpoint")
+	}
+	start := time.Now()
+	err := sess.wlog.CheckpointTraced(func() wal.Checkpoint {
 		facts, epoch := sess.Sys.DumpState()
 		return wal.Checkpoint{Source: sess.src, Options: sess.opts, Epoch: epoch, Facts: facts}
-	})
+	}, root)
+	if r.recorder != nil {
+		root.End()
+		rt := &trace.RequestTrace{
+			TraceID:       trace.MintContext().TraceIDString(),
+			Route:         "internal/checkpoint",
+			Session:       sess.Name,
+			Status:        200,
+			StartUnixNano: start.UnixNano(),
+			DurationUS:    time.Since(start).Microseconds(),
+			Span:          root,
+		}
+		if err != nil {
+			rt.Status = 500
+			rt.Error = err.Error()
+		}
+		r.recorder.Record(rt)
+	}
+	return err
 }
 
 // CheckpointAll writes a final checkpoint for every live session — the

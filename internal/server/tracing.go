@@ -1,0 +1,164 @@
+// Request-scoped tracing: every request gets a trace.Context (parsed
+// from an incoming W3C traceparent header or minted fresh) and a root
+// span, carried through the handler via the request context. The same
+// trace_id appears on the response headers, the access-log line, the
+// slow-query line, error bodies, and the flight-recorder entry, so one
+// identifier correlates every artifact of a request. Completed requests
+// feed the flight recorder (trace.Recorder), browsable at /v1/traces.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+type traceCtxKey struct{}
+
+// reqTrace is the per-request tracing holder the instrument middleware
+// plants in the request context: the request's identity, its root span,
+// and the tail-classification flags handlers set along the way.
+type reqTrace struct {
+	ctx    trace.Context // this server's context (fresh span ID)
+	parent string        // upstream span ID when the caller sent a traceparent
+	root   *trace.Span
+
+	mu     sync.Mutex
+	errMsg string
+	slow   bool
+	pinned bool
+}
+
+// requestTrace returns the request's tracing holder, nil when the
+// request did not pass through the instrument middleware (direct
+// handler invocation in tests).
+func requestTrace(r *http.Request) *reqTrace {
+	ht, _ := r.Context().Value(traceCtxKey{}).(*reqTrace)
+	return ht
+}
+
+// span returns the request's root span (nil-safe: nil holder means
+// tracing is simply off for the call, which every span method accepts).
+func (h *reqTrace) span() *trace.Span {
+	if h == nil {
+		return nil
+	}
+	return h.root
+}
+
+// TraceID returns the request's hex trace ID ("" on a nil holder).
+func (h *reqTrace) TraceID() string {
+	if h == nil {
+		return ""
+	}
+	return h.ctx.TraceIDString()
+}
+
+func (h *reqTrace) setError(msg string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.errMsg = msg
+	h.mu.Unlock()
+}
+
+func (h *reqTrace) errorMsg() string {
+	if h == nil {
+		return ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.errMsg
+}
+
+// markSlow tags the request as a slow-query breach so the flight
+// recorder keeps it regardless of reservoir odds.
+func (h *reqTrace) markSlow() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.slow = true
+	h.mu.Unlock()
+}
+
+// pin forces retention (?trace=1 — the caller explicitly asked for this
+// trace, so it must be retrievable afterwards).
+func (h *reqTrace) pin() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.pinned = true
+	h.mu.Unlock()
+}
+
+func (h *reqTrace) flags() (slow, pinned bool) {
+	if h == nil {
+		return false, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.slow, h.pinned
+}
+
+// incomingContext resolves the request's trace identity: continue the
+// caller's trace when it sent a well-formed traceparent (same trace ID,
+// fresh span ID), mint a fresh context otherwise. Malformed headers are
+// never an error — the request proceeds under a new identity.
+func incomingContext(r *http.Request) (tc trace.Context, parentSpan string) {
+	if up, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return up.WithNewSpan(), up.SpanIDString()
+	}
+	return trace.MintContext(), ""
+}
+
+// handleTraceIndex serves GET /v1/traces: the flight recorder's
+// retained traces, newest first, as summaries.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("flight recorder disabled (TraceBufferSize < 0)"))
+		return
+	}
+	st := s.recorder.Stats()
+	entries := s.recorder.Index()
+	resp := TraceIndexResponse{
+		Traces:   make([]TraceSummary, 0, len(entries)),
+		Entries:  st.Entries,
+		Capacity: st.Capacity,
+	}
+	for _, rt := range entries {
+		resp.Traces = append(resp.Traces, TraceSummary{
+			TraceID: rt.TraceID,
+			Route:   rt.Route,
+			Path:    rt.Path,
+			Session: rt.Session,
+			Status:  rt.Status,
+			Kept:    rt.Kept,
+			Error:   rt.Error,
+			Start:   time.Unix(0, rt.StartUnixNano).UTC().Format(time.RFC3339Nano),
+			DurMS:   float64(rt.DurationUS) / 1e3,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceGet serves GET /v1/traces/{id}: the full recorded request
+// trace, span tree in the same JSON shape as ?trace=1.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("flight recorder disabled (TraceBufferSize < 0)"))
+		return
+	}
+	id := r.PathValue("id")
+	rt, ok := s.recorder.Get(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("no recorded trace %q (evicted or never retained)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt)
+}

@@ -1,0 +1,172 @@
+// Request identity: a W3C-trace-context-compatible (trace ID, span ID)
+// pair minted per request, propagated via the `traceparent` header, and
+// stamped on access-log lines, slow-query lines, error bodies, and the
+// flight recorder so every artifact of one request correlates.
+//
+// Minting is deliberately cheap — no crypto/rand on the hot path. The
+// trace ID is a per-process random 64-bit prefix (drawn once at init)
+// concatenated with a 64-bit atomic counter; the span ID comes from
+// math/rand/v2's per-thread generator. W3C only requires IDs to be
+// non-zero and collision-unlikely, which this satisfies at a few
+// nanoseconds per request.
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Context is one request's trace identity in W3C trace-context terms: a
+// 128-bit trace ID shared by every participant in the request, the
+// 64-bit span ID of this participant, and the trace flags byte (bit 0 =
+// sampled).
+type Context struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+var (
+	mintPrefix [8]byte       // per-process random trace-ID prefix
+	mintCtr    atomic.Uint64 // low half of the trace ID, never reused
+)
+
+func init() {
+	if _, err := crand.Read(mintPrefix[:]); err != nil {
+		// No entropy source: fall back to the clock. Uniqueness within
+		// the process still holds via the counter.
+		binary.BigEndian.PutUint64(mintPrefix[:], uint64(time.Now().UnixNano()))
+	}
+	if mintPrefix == ([8]byte{}) {
+		mintPrefix[7] = 1
+	}
+}
+
+// MintContext returns a fresh Context: new trace ID, new span ID,
+// sampled flag set. Safe for concurrent use; costs two atomic ops and
+// no allocation beyond the returned value.
+func MintContext() Context {
+	var c Context
+	copy(c.TraceID[:8], mintPrefix[:])
+	binary.BigEndian.PutUint64(c.TraceID[8:], mintCtr.Add(1))
+	c.SpanID = mintSpanID()
+	c.Flags = 0x01
+	return c
+}
+
+func mintSpanID() [8]byte {
+	var id [8]byte
+	n := rand.Uint64()
+	if n == 0 {
+		n = 1 // all-zero span IDs are invalid per W3C
+	}
+	binary.BigEndian.PutUint64(id[:], n)
+	return id
+}
+
+// WithNewSpan returns a copy of c carrying a fresh span ID — the same
+// trace continuing into a new participant (this server, when the caller
+// sent a traceparent).
+func (c Context) WithNewSpan() Context {
+	c.SpanID = mintSpanID()
+	return c
+}
+
+// Valid reports whether both IDs are non-zero, the W3C definition of a
+// usable trace context.
+func (c Context) Valid() bool {
+	return c.TraceID != ([16]byte{}) && c.SpanID != ([8]byte{})
+}
+
+// TraceIDString returns the 32-char lowercase-hex trace ID.
+func (c Context) TraceIDString() string { return hex.EncodeToString(c.TraceID[:]) }
+
+// SpanIDString returns the 16-char lowercase-hex span ID.
+func (c Context) SpanIDString() string { return hex.EncodeToString(c.SpanID[:]) }
+
+// Traceparent renders the context as a version-00 W3C traceparent
+// header value: 00-<trace-id>-<span-id>-<flags>.
+func (c Context) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", c.TraceIDString(), c.SpanIDString(), c.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It returns
+// ok=false — never an error, the caller mints a fresh context instead —
+// for anything malformed: wrong length, uppercase hex, all-zero IDs,
+// the forbidden version ff, or a version-00 value with trailing data.
+// Higher versions are accepted with their extra fields ignored, per the
+// spec's forward-compatibility rule.
+func ParseTraceparent(h string) (Context, bool) {
+	h = strings.TrimSpace(h)
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2) = 55 chars.
+	if len(h) < 55 {
+		return Context{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Context{}, false
+	}
+	version, ok := hexByte(h[0:2])
+	if !ok || version == 0xff {
+		return Context{}, false
+	}
+	if version == 0 && len(h) != 55 {
+		return Context{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return Context{}, false
+	}
+	var c Context
+	if !hexDecodeLower(c.TraceID[:], h[3:35]) || !hexDecodeLower(c.SpanID[:], h[36:52]) {
+		return Context{}, false
+	}
+	flags, ok := hexByte(h[53:55])
+	if !ok {
+		return Context{}, false
+	}
+	c.Flags = flags
+	if !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// hexDecodeLower decodes src into dst, rejecting uppercase digits — the
+// W3C grammar requires lowercase hex.
+func hexDecodeLower(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(src[2*i])
+		lo, ok2 := hexNibble(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexByte(s string) (byte, bool) {
+	var b [1]byte
+	if !hexDecodeLower(b[:], s) {
+		return 0, false
+	}
+	return b[0], true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

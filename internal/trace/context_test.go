@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	c := MintContext()
+	if !c.Valid() {
+		t.Fatalf("minted context invalid: %+v", c)
+	}
+	h := c.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", h, len(h))
+	}
+	if h != strings.ToLower(h) {
+		t.Fatalf("traceparent %q not lowercase", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own output", h)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v, want %+v", got, c)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const sid = "00f067aa0ba902b7"
+	cases := []string{
+		"00-" + tid + "-" + sid + "-01",
+		"00-" + tid + "-" + sid + "-00", // unsampled is still valid
+		"  00-" + tid + "-" + sid + "-01  ",
+		// Future version with extra fields: accepted, extras ignored.
+		"cc-" + tid + "-" + sid + "-01-extra-stuff",
+	}
+	for _, h := range cases {
+		c, ok := ParseTraceparent(h)
+		if !ok {
+			t.Errorf("ParseTraceparent(%q) = rejected, want accepted", h)
+			continue
+		}
+		if c.TraceIDString() != tid || c.SpanIDString() != sid {
+			t.Errorf("ParseTraceparent(%q) = %s/%s, want %s/%s",
+				h, c.TraceIDString(), c.SpanIDString(), tid, sid)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const sid = "00f067aa0ba902b7"
+	cases := map[string]string{
+		"empty":              "",
+		"garbage":            "not-a-traceparent",
+		"short":              "00-" + tid[:30] + "-" + sid + "-01",
+		"uppercase trace id": "00-" + strings.ToUpper(tid) + "-" + sid + "-01",
+		"uppercase version":  "0A-" + tid + "-" + sid + "-01",
+		"zero trace id":      "00-00000000000000000000000000000000-" + sid + "-01",
+		"zero span id":       "00-" + tid + "-0000000000000000-01",
+		"version ff":         "ff-" + tid + "-" + sid + "-01",
+		"v00 with suffix":    "00-" + tid + "-" + sid + "-01-rest",
+		"bad separators":     "00_" + tid + "_" + sid + "_01",
+		"non-hex flags":      "00-" + tid + "-" + sid + "-zz",
+		"future no dash":     "cc-" + tid + "-" + sid + "-01extra",
+	}
+	for name, h := range cases {
+		if c, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted as %+v, want rejected", name, h, c)
+		}
+	}
+}
+
+func TestMintContextUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintContext().TraceIDString()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWithNewSpanKeepsTrace(t *testing.T) {
+	c := MintContext()
+	d := c.WithNewSpan()
+	if d.TraceID != c.TraceID {
+		t.Fatalf("WithNewSpan changed trace ID: %s -> %s", c.TraceIDString(), d.TraceIDString())
+	}
+	if d.SpanID == c.SpanID {
+		t.Fatalf("WithNewSpan kept span ID %s", c.SpanIDString())
+	}
+	if !d.Valid() {
+		t.Fatalf("derived context invalid: %+v", d)
+	}
+}

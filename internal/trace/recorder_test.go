@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rt(id string, status int, durUS int64) *RequestTrace {
+	return &RequestTrace{TraceID: id, Route: "GET /v1/test", Status: status, DurationUS: durUS}
+}
+
+func TestRecorderBoundRespected(t *testing.T) {
+	const capacity = 16
+	r := NewRecorder(capacity, 10*time.Millisecond)
+	for i := 0; i < 100*capacity; i++ {
+		status := 200
+		switch i % 3 {
+		case 1:
+			status = 500
+		case 2:
+			status = 404 // client errors are routine traffic, not kept
+		}
+		r.Record(rt(fmt.Sprintf("t%04d", i), status, 5))
+	}
+	st := r.Stats()
+	if st.Entries > capacity {
+		t.Fatalf("entries = %d, want <= %d", st.Entries, capacity)
+	}
+	if st.Capacity != capacity {
+		t.Fatalf("capacity = %d, want %d", st.Capacity, capacity)
+	}
+	if got := len(r.Index()); got != st.Entries {
+		t.Fatalf("Index len = %d, Stats.Entries = %d", got, st.Entries)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("no evictions recorded under 100x overload")
+	}
+}
+
+func TestRecorderKeepsSlowAndErrorUnderLoad(t *testing.T) {
+	r := NewRecorder(32, 10*time.Millisecond)
+	r.Record(rt("err-trace", 500, 5))
+	r.Record(rt("slow-trace", 200, 50_000)) // 50ms >= 10ms threshold
+	marked := rt("marked-slow", 200, 5)
+	marked.Slow = true // handler-observed breach below the duration bound
+	r.Record(marked)
+	pinned := rt("pinned-trace", 200, 5)
+	pinned.Pinned = true
+	r.Record(pinned)
+
+	// Flood with routine traffic: reservoir churn must not evict the
+	// kept classes.
+	for i := 0; i < 10_000; i++ {
+		r.Record(rt(fmt.Sprintf("ok%05d", i), 200, 5))
+	}
+
+	want := map[string]string{
+		"err-trace":    KeptError,
+		"slow-trace":   KeptSlow,
+		"marked-slow":  KeptSlow,
+		"pinned-trace": KeptPinned,
+	}
+	for id, class := range want {
+		got, ok := r.Get(id)
+		if !ok {
+			t.Errorf("trace %q evicted by routine load", id)
+			continue
+		}
+		if got.Kept != class {
+			t.Errorf("trace %q class = %q, want %q", id, got.Kept, class)
+		}
+	}
+	st := r.Stats()
+	if st.Recorded[KeptSampled] == 0 {
+		t.Error("no sampled admissions under flood")
+	}
+	if st.SampleSeen < 10_000 {
+		t.Errorf("sample seen = %d, want >= 10000", st.SampleSeen)
+	}
+}
+
+func TestRecorderKeptRingEvictsOldest(t *testing.T) {
+	r := NewRecorder(8, 0) // keepCap = 4
+	for i := 0; i < 10; i++ {
+		r.Record(rt(fmt.Sprintf("e%02d", i), 500, 1))
+	}
+	if _, ok := r.Get("e00"); ok {
+		t.Error("oldest error trace survived past the kept ring bound")
+	}
+	if _, ok := r.Get("e09"); !ok {
+		t.Error("newest error trace missing")
+	}
+	st := r.Stats()
+	if st.Recorded[KeptError] != 10 {
+		t.Errorf("error admissions = %d, want 10", st.Recorded[KeptError])
+	}
+}
+
+func TestRecorderSnapshotsSpanOnAdmission(t *testing.T) {
+	r := NewRecorder(8, 0)
+	sp := New("request")
+	sp.Child("work").End()
+	entry := rt("span-trace", 500, 1)
+	entry.Span = sp
+	r.Record(entry)
+	got, ok := r.Get("span-trace")
+	if !ok {
+		t.Fatal("error-class trace not retained")
+	}
+	if got.Trace == nil || got.Trace.Find("work") == nil {
+		t.Fatalf("span tree not materialized: %+v", got.Trace)
+	}
+	if got.Span != nil {
+		t.Error("live span retained after admission")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(rt("x", 500, 1))
+	if _, ok := r.Get("x"); ok {
+		t.Error("nil recorder returned a trace")
+	}
+	if got := r.Index(); got != nil {
+		t.Errorf("nil recorder Index = %v", got)
+	}
+	if st := r.Stats(); st.Capacity != 0 {
+		t.Errorf("nil recorder stats = %+v", st)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				status := 200
+				if i%50 == 0 {
+					status = 500
+				}
+				sp := New("request")
+				entry := rt(fmt.Sprintf("g%d-%03d", g, i), status, int64(i))
+				entry.Span = sp
+				r.Record(entry)
+				if i%7 == 0 {
+					r.Index()
+					r.Get(fmt.Sprintf("g%d-%03d", g, i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Entries > 64 {
+		t.Fatalf("entries = %d, want <= 64", st.Entries)
+	}
+	for _, rec := range r.Index() {
+		if rec.Kept == "" {
+			t.Fatalf("retained trace %q has no class", rec.TraceID)
+		}
+	}
+}

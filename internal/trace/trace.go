@@ -88,6 +88,21 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// ChildDetailed starts a sub-span with fine-grained instrumentation
+// enabled for its subtree regardless of the parent's detail level. The
+// server's ?trace=1 path hangs a detailed evaluation under the coarse
+// per-request root span.
+func (s *Span) ChildDetailed(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), detail: true}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
 // End stops the span. Ending twice keeps the first end time; ending a
 // nil span is a no-op.
 func (s *Span) End() {

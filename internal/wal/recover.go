@@ -7,6 +7,7 @@ import (
 	"time"
 
 	wfs "repro"
+	"repro/internal/trace"
 )
 
 // Recovered is one session rebuilt from disk: a warm system at the exact
@@ -42,6 +43,14 @@ type Skipped struct {
 // prefix, everything from it on is dropped from the log so the repaired
 // log and the recovered state agree exactly.
 func (m *Manager) Recover() ([]Recovered, []Skipped, error) {
+	return m.RecoverTraced(nil)
+}
+
+// RecoverTraced is Recover recording one "recover-session" child span
+// per session directory (checkpoint load, restore, replay phases plus
+// replayed/torn counters) under tr — the span tree the server pins into
+// the flight recorder as the startup trace. A nil tr is Recover.
+func (m *Manager) RecoverTraced(tr *trace.Span) ([]Recovered, []Skipped, error) {
 	ents, err := os.ReadDir(m.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: recover: %w", err)
@@ -54,11 +63,19 @@ func (m *Manager) Recover() ([]Recovered, []Skipped, error) {
 			continue
 		}
 		dir := filepath.Join(m.dir, e.Name())
-		rec, err := m.recoverSession(dir)
+		sp := tr.Child("recover-session")
+		rec, err := m.recoverSession(dir, sp)
 		if err != nil {
+			sp.SetCount("skipped", 1)
+			sp.End()
 			skipped = append(skipped, Skipped{Dir: dir, Err: err})
 			continue
 		}
+		sp.SetCount("replayed", int64(rec.Replayed))
+		if rec.TornTail {
+			sp.SetCount("torn_tail", 1)
+		}
+		sp.End()
 		m.mu.Lock()
 		m.logs[rec.Name] = rec.Log
 		m.mu.Unlock()
@@ -69,13 +86,18 @@ func (m *Manager) Recover() ([]Recovered, []Skipped, error) {
 	return out, skipped, nil
 }
 
-// recoverSession rebuilds one session directory.
-func (m *Manager) recoverSession(dir string) (Recovered, error) {
+// recoverSession rebuilds one session directory, recording its phases
+// under tr (nil disables tracing).
+func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) {
+	endLoad := tr.Phase("load-checkpoint")
 	ck, err := loadNewestCheckpoint(dir)
+	endLoad()
 	if err != nil {
 		return Recovered{}, err
 	}
+	endRestore := tr.Phase("restore")
 	sys, err := wfs.Restore(ck.Source, ck.Options, ck.Facts, ck.Epoch)
+	endRestore()
 	if err != nil {
 		return Recovered{}, err
 	}
@@ -87,6 +109,8 @@ func (m *Manager) recoverSession(dir string) (Recovered, error) {
 		CheckpointEpoch: ck.Epoch,
 	}
 
+	endReplay := tr.Phase("replay")
+	defer endReplay() // idempotent; covers the replay error returns
 	segs, _, err := listByEpoch(dir, segSuffix)
 	if err != nil {
 		return Recovered{}, err
@@ -168,6 +192,7 @@ func (m *Manager) recoverSession(dir string) (Recovered, error) {
 		}
 	}
 
+	endReplay()
 	l := &SessionLog{
 		man:       m,
 		dir:       dir,

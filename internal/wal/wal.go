@@ -10,6 +10,7 @@ import (
 	"time"
 
 	wfs "repro"
+	"repro/internal/trace"
 )
 
 // Durability defaults: how much un-checkpointed log a session may
@@ -93,6 +94,15 @@ func (m *Manager) sessionDir(name string) string {
 // left by a crashed process whose delete never completed, which recovery
 // would have resurrected as a live session.
 func (m *Manager) Create(name string, ck Checkpoint) (*SessionLog, error) {
+	return m.CreateTraced(name, ck, nil)
+}
+
+// CreateTraced is Create recording the initial checkpoint write as a
+// "wal-checkpoint" child of tr. A nil tr is Create.
+func (m *Manager) CreateTraced(name string, ck Checkpoint, tr *trace.Span) (*SessionLog, error) {
+	sp := tr.Child("wal-checkpoint")
+	defer sp.End()
+	sp.SetCount("facts", int64(len(ck.Facts)))
 	dir := m.sessionDir(name)
 	if _, err := os.Stat(dir); err == nil {
 		return nil, fmt.Errorf("wal: session log for %q already exists", name)
@@ -195,6 +205,16 @@ func (l *SessionLog) LastCheckpoint() time.Time {
 // means the caller skipped logging a mutation and is rejected rather than
 // persisted as an unreplayable log.
 func (l *SessionLog) Append(epoch uint64, adds, retracts []wfs.FactRef) error {
+	return l.AppendTraced(epoch, adds, retracts, nil)
+}
+
+// AppendTraced is Append recording the durability work as a
+// "wal-append" child of tr, with the fsync (when Options.Fsync is on)
+// as its own "wal-fsync" child — the span a mutation request's trace
+// shows next to the in-memory commit. A nil tr is Append.
+func (l *SessionLog) AppendTraced(epoch uint64, adds, retracts []wfs.FactRef, tr *trace.Span) error {
+	sp := tr.Child("wal-append")
+	defer sp.End()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -228,13 +248,17 @@ func (l *SessionLog) Append(epoch uint64, adds, retracts []wfs.FactRef) error {
 		return fmt.Errorf("wal: session %q: append: %w", l.name, err)
 	}
 	if l.man.opts.Fsync {
+		fs := sp.Child("wal-fsync")
 		start := time.Now()
-		if err := l.f.Sync(); err != nil {
+		err := l.f.Sync()
+		fs.End()
+		if err != nil {
 			l.man.met.appendErrors.Add(1)
 			return fmt.Errorf("wal: session %q: fsync: %w", l.name, err)
 		}
 		l.man.met.observeFsync(time.Since(start))
 	}
+	sp.SetCount("bytes", int64(len(frame)))
 	l.segSize += int64(len(frame))
 	l.head = epoch
 	l.sinceRecs++
@@ -270,6 +294,16 @@ func (l *SessionLog) NeedCheckpoint() bool {
 // A crash between any two steps is safe: the old checkpoint plus the
 // complete log always reproduce the state.
 func (l *SessionLog) Checkpoint(dump func() Checkpoint) error {
+	return l.CheckpointTraced(dump, nil)
+}
+
+// CheckpointTraced is Checkpoint recording the rotate / dump / write
+// phases as a "wal-checkpoint" child of tr. A nil tr is Checkpoint.
+func (l *SessionLog) CheckpointTraced(dump func() Checkpoint, tr *trace.Span) error {
+	sp := tr.Child("wal-checkpoint")
+	defer sp.End()
+	endRotate := sp.Phase("rotate")
+	defer endRotate() // idempotent; covers the rotation error returns
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -293,11 +327,17 @@ func (l *SessionLog) Checkpoint(dump func() Checkpoint) error {
 		}
 	}
 	l.mu.Unlock()
+	endRotate()
 
+	endDump := sp.Phase("dump-state")
 	ck := dump()
+	endDump()
 	ck.Name = l.name
 	ck.WrittenAtUnixNano = time.Now().UnixNano()
+	sp.SetCount("facts", int64(len(ck.Facts)))
 
+	endWrite := sp.Phase("write")
+	defer endWrite()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {

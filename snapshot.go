@@ -378,6 +378,32 @@ func (s *Snapshot) TraceAnswerDetail(q *Query, detailed bool) (Truth, *core.Answ
 	return t, st, root.Trace(), err
 }
 
+// AnswerTraced is Answer recording the evaluation's phase tree under
+// the caller's already-open span — the server's request-scoped tracing
+// path, where the root span belongs to the HTTP request rather than to
+// this evaluation. The instrumentation level follows the span's detail
+// flag; a nil span is AnswerWithStats.
+func (s *Snapshot) AnswerTraced(q *Query, root *trace.Span) (Truth, *core.AnswerStats, error) {
+	return s.answerTraced(q, root)
+}
+
+// WarmRebased eagerly materializes the base model and every ladder rung
+// whose previous-epoch counterpart was already materialized, recording
+// the work — including the delta-rebase spans — under tr. The server's
+// mutation path calls this so the rebase a mutation causes lands in the
+// mutating request's trace (and its latency bill) instead of ambushing
+// the next reader; models that were cold before the mutation stay cold.
+func (s *Snapshot) WarmRebased(tr *trace.Span) {
+	if r := s.base.reb.Load(); r != nil && r.done.Load() {
+		s.base.get(s, tr)
+	}
+	for _, sm := range s.rungs {
+		if r := sm.reb.Load(); r != nil && r.done.Load() {
+			sm.get(s, tr)
+		}
+	}
+}
+
 // answerTraced runs the traced ladder under an already-open root span
 // (shared with System.TraceAnswer, whose root also covers parse and
 // snapshot acquisition).

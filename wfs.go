@@ -125,8 +125,9 @@ type System struct {
 
 	// commitHook, when set, observes every validated mutation batch
 	// immediately before it commits and may veto it (see CommitHook —
-	// the write-ahead-log integration point).
-	commitHook CommitHook
+	// the write-ahead-log integration point). Stored in traced form;
+	// SetCommitHook wraps untraced hooks.
+	commitHook CommitHookTraced
 }
 
 // Load parses and compiles a source unit (facts, rules, constraints, EGDs,
@@ -146,12 +147,23 @@ func Load(src string) (*System, error) { return LoadWithOptions(src, Options{}) 
 // Error-severity ones — do not fail the load; callers that want to
 // reject broken programs check sys.Analysis().HasErrors() (wfsd does).
 func LoadWithOptions(src string, opts Options) (*System, error) {
+	return LoadWithOptionsTraced(src, opts, nil)
+}
+
+// LoadWithOptionsTraced is LoadWithOptions recording the load's phases
+// — parse/compile and the static-analysis pass — as children of tr. A
+// nil tr is LoadWithOptions.
+func LoadWithOptionsTraced(src string, opts Options, tr *trace.Span) (*System, error) {
+	endCompile := tr.Phase("parse-compile")
 	st := atom.NewStore(term.NewStore())
 	prog, db, queries, err := program.CompileText(src, st)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}
+	endAnalyze := tr.Phase("analyze")
 	rep := analysis.Analyze(prog, db, queries)
+	endAnalyze()
 	opts.CertifiedDepth = 0
 	if !opts.NoCertify && rep.Certificate != nil {
 		opts.CertifiedDepth = rep.Certificate.DepthBound
@@ -176,10 +188,18 @@ func (s *System) Analysis() *analysis.Report { return s.analysis }
 // snapshot is safe for unlimited concurrent readers with no lock on the
 // query hot path; it stays answerable (at its epoch) even after later
 // writes.
-func (s *System) Snapshot() (*Snapshot, error) {
+func (s *System) Snapshot() (*Snapshot, error) { return s.SnapshotTraced(nil) }
+
+// SnapshotTraced is Snapshot recording the snapshot construction — the
+// store clone and publication after an epoch change — as a child of tr.
+// The published-snapshot fast path records nothing; a nil tr is
+// Snapshot.
+func (s *System) SnapshotTraced(tr *trace.Span) (*Snapshot, error) {
 	if snap := s.snap.Load(); snap != nil {
 		return snap, nil
 	}
+	sp := tr.Child("snapshot-publish")
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if snap := s.snap.Load(); snap != nil {
@@ -240,7 +260,7 @@ func (s *System) NumQueries() int { return len(s.queries) }
 func (s *System) AddFact(pred string, args ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyLocked([]factSpec{{pred: pred, args: args}}, nil)
+	return s.applyLocked([]factSpec{{pred: pred, args: args}}, nil, nil)
 }
 
 // invalidateLocked unpublishes the current snapshot after a database
