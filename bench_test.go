@@ -6,6 +6,7 @@ package wfs
 // `go test -bench=. -benchmem`.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -273,6 +274,42 @@ func BenchmarkParallelAnswer(b *testing.B) {
 					return
 				}
 				rec.Record(rt)
+			}
+		})
+	})
+
+	// cancelcheck — the cooperative-cancellation tax on the same warm
+	// path: the identical workload answered through AnswerCtx under a
+	// live (cancellable, never cancelled) context, so every poll point
+	// pays the real token check — one atomic load plus a non-blocking
+	// channel select — instead of the nil-token fast path.
+	// benchguard.sh compares this against the snapshot sub-bench from
+	// the same run (budget: <= 5%, the ISSUE's overhead bar).
+	b.Run("cancelcheck", func(b *testing.B) {
+		sys, err := Load(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := Prepare(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Answer(q); err != nil { // warm models + compile cache
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if ans, err := snap.AnswerCtx(ctx, q); err != nil || ans != True {
+					b.Errorf("answer = %v (%v)", ans, err)
+					return
+				}
 			}
 		})
 	})

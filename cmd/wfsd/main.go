@@ -8,9 +8,20 @@
 //
 //	wfsd [-addr :8080] [-max-sessions N] [-cache-size N]
 //	     [-max-concurrent N] [-max-queue-wait 5s] [-slow-query 0]
-//	     [-access-log] [-pprof-addr :6060] [-trace-buffer N]
-//	     [-data-dir DIR] [-checkpoint-every N] [-fsync=true]
+//	     [-query-timeout 0] [-access-log] [-pprof-addr :6060]
+//	     [-trace-buffer N] [-data-dir DIR] [-checkpoint-every N]
+//	     [-fsync=true] [-wal-breaker-threshold 3] [-wal-probe-interval 2s]
 //	     [-preload prog.dl [-preload-name default]]
+//
+// Resource governance: -query-timeout bounds every uncached query
+// evaluation with a server-side deadline — a query still running when it
+// expires is cooperatively cancelled (504; or, with ?partial=1, degraded
+// to the deepest completed approximation's answer marked inexact), and a
+// client that disconnects mid-evaluation cancels its work the same way
+// (503). With durability on, -wal-breaker-threshold consecutive failed
+// log appends trip a session into read-only mode: mutations answer 503
+// while reads keep serving, and a background probe every
+// -wal-probe-interval re-enables writes once the disk heals.
 //
 // Durability: -data-dir enables a per-session write-ahead log of
 // mutation deltas plus periodic snapshot checkpoints under DIR. Every
@@ -62,6 +73,7 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests (-1 = unlimited)")
 		maxQueueWait  = flag.Duration("max-queue-wait", server.DefaultMaxQueueWait, "max wait for a concurrency slot before 429 (-1s = unbounded)")
 		slowQuery     = flag.Duration("slow-query", 0, "log uncached queries slower than this with phase breakdown (0 = off)")
+		queryTimeout  = flag.Duration("query-timeout", 0, "server-side deadline per query evaluation: 504 on expiry, or a degraded answer with ?partial=1 (0 = off)")
 		accessLog     = flag.Bool("access-log", false, "log one structured line per request (includes trace_id)")
 		traceBuffer   = flag.Int("trace-buffer", server.DefaultTraceBufferSize, "flight-recorder capacity in retained request traces (-1 = disabled)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -72,18 +84,23 @@ func main() {
 		ckptEvery     = flag.Int("checkpoint-every", wal.DefaultCheckpointRecords, "checkpoint a session after this many logged records (-1 = only on byte threshold/shutdown)")
 		ckptBytes     = flag.Int64("checkpoint-bytes", wal.DefaultCheckpointBytes, "checkpoint a session after this many logged bytes (-1 = only on record threshold/shutdown)")
 		fsync         = flag.Bool("fsync", true, "fsync the write-ahead log on every mutation (durable against power loss, not just crashes)")
+		walBreaker    = flag.Int("wal-breaker-threshold", server.DefaultWALFailureThreshold, "consecutive WAL append failures before a session goes read-only (-1 = never)")
+		walProbe      = flag.Duration("wal-probe-interval", server.DefaultWALProbeInterval, "how often a read-only session probes its log directory for healing")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "wfsd: ", log.LstdFlags)
 
 	cfg := server.Config{
-		MaxSessions:        *maxSessions,
-		CacheSize:          *cacheSize,
-		MaxConcurrent:      *maxConcurrent,
-		MaxQueueWait:       *maxQueueWait,
-		SlowQueryThreshold: *slowQuery,
-		TraceBufferSize:    *traceBuffer,
-		Logger:             logger,
+		MaxSessions:         *maxSessions,
+		CacheSize:           *cacheSize,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueueWait:        *maxQueueWait,
+		SlowQueryThreshold:  *slowQuery,
+		QueryTimeout:        *queryTimeout,
+		TraceBufferSize:     *traceBuffer,
+		WALFailureThreshold: *walBreaker,
+		WALProbeInterval:    *walProbe,
+		Logger:              logger,
 	}
 	if *accessLog {
 		cfg.AccessLogger = log.New(os.Stderr, "wfsd.access: ", log.LstdFlags)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	wfsquery [-depth N] [-algorithm alt|unfounded|forward] [-query Q] [-retract F] [-trace]
-//	         [-traceparent HDR] file.dlg
+//	         [-timeout D] [-traceparent HDR] file.dlg
 //
 // The program file may embed queries ('? lit, ….'); additional queries can
 // be passed with -query (repeatable). -retract (repeatable) removes
@@ -12,6 +12,10 @@
 // apply as one atomic delta. With -model, the tool also prints the true
 // and undefined atoms of the model. With -trace, each -query prints a
 // per-phase evaluation trace (chase/ground/condense/solve timings).
+// -timeout bounds each query evaluation with a deadline: the adaptive
+// ladder is cooperatively cancelled when it expires and the run fails
+// with "deadline exceeded" instead of chasing a non-terminating program
+// forever (0 = no deadline).
 //
 // Every run carries a trace identity: a W3C traceparent, continued from
 // -traceparent when a well-formed header value is given (so a run
@@ -21,10 +25,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	wfs "repro"
 	"repro/internal/core"
@@ -45,6 +51,7 @@ func main() {
 		traceEval = flag.Bool("trace", false, "print a per-phase evaluation trace for each -query")
 		explain   = flag.String("explain", "", "print a forward proof (Def. 5) of a ground atom, e.g. -explain 't(0)'")
 		parentHdr = flag.String("traceparent", "", "continue this W3C traceparent (malformed values mint a fresh trace ID)")
+		timeout   = flag.Duration("timeout", 0, "deadline per query evaluation; expiry cancels the ladder cooperatively (0 = none)")
 		queries   queryFlags
 		retracts  queryFlags
 	)
@@ -111,24 +118,14 @@ func main() {
 		fmt.Printf("%-50s %s\n", r.Query, r.Answer)
 	}
 	for _, qs := range queries {
-		if *traceEval {
-			ans, stats, et, err := sys.TraceAnswer(qs)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-50s %s\n", qs, ans)
-			fmt.Print(et.Format())
-			if *verbose {
-				fmt.Printf("  depths=%v answers=%v exact=%v stable=%v\n",
-					stats.Depths, stats.Answers, stats.Exact, stats.Stable)
-			}
-			continue
-		}
-		ans, stats, err := sys.AnswerWithStats(qs)
+		ans, stats, et, err := answerOne(sys, qs, *timeout, *traceEval)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-50s %s\n", qs, ans)
+		if et != nil {
+			fmt.Print(et.Format())
+		}
 		if *verbose {
 			fmt.Printf("  depths=%v answers=%v exact=%v stable=%v\n",
 				stats.Depths, stats.Answers, stats.Exact, stats.Stable)
@@ -170,6 +167,42 @@ func main() {
 			}
 		}
 	}
+}
+
+// answerOne evaluates one -query, optionally under a deadline and
+// optionally traced. With no deadline it uses the System convenience
+// paths; with one it prepares the query against a snapshot and runs the
+// context-aware ladder, so expiry cancels the evaluation cooperatively
+// mid-chase instead of after the fact.
+func answerOne(sys *wfs.System, qs string, timeout time.Duration, traced bool) (wfs.Truth, *core.AnswerStats, *trace.EvalTrace, error) {
+	if timeout <= 0 {
+		if traced {
+			return sys.TraceAnswer(qs)
+		}
+		ans, stats, err := sys.AnswerWithStats(qs)
+		return ans, stats, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	q, err := wfs.Prepare(qs)
+	if err != nil {
+		return wfs.False, nil, nil, err
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return wfs.False, nil, nil, err
+	}
+	var root *trace.Span
+	if traced {
+		root = trace.NewDetailed("query")
+	}
+	ans, stats, err := snap.AnswerCtxTraced(ctx, q, root)
+	root.End()
+	var et *trace.EvalTrace
+	if traced && err == nil {
+		et = root.Trace()
+	}
+	return ans, stats, et, err
 }
 
 func fatal(err error) {

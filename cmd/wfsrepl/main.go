@@ -19,17 +19,20 @@
 //	:stats                           chase/model statistics
 //	:lint                            static analysis report (termination, diagnostics)
 //	:trace on|off                    per-phase evaluation traces for '?' queries
+//	:timeout 500ms|off               deadline per '?' query (cooperative cancel)
 //	:help                            this text
 //	:quit                            exit
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	wfs "repro"
 	"repro/internal/parser"
@@ -49,6 +52,8 @@ commands:
   :stats          chase/model statistics
   :lint           static analysis: termination classes, certificate, diagnostics
   :trace on|off   per-phase evaluation traces for '?' queries
+  :timeout D|off  deadline per '?' query, e.g. :timeout 500ms; expiry cancels
+                  the evaluation cooperatively (:timeout alone shows the state)
   :help           this text
   :quit           exit`
 
@@ -89,6 +94,7 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 	}
 	var retracted []retraction
 	tracing := false
+	var timeout time.Duration // 0 = no deadline on '?' queries
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "wfs> ")
@@ -186,6 +192,26 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 				state = "on"
 			}
 			fmt.Fprintf(out, "tracing %s (use :trace on|off)\n", state)
+		case line == ":timeout":
+			if timeout > 0 {
+				fmt.Fprintf(out, "timeout %s (use :timeout DURATION or :timeout off)\n", timeout)
+			} else {
+				fmt.Fprintln(out, "timeout off (use :timeout DURATION, e.g. :timeout 500ms)")
+			}
+		case strings.HasPrefix(line, ":timeout "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ":timeout"))
+			if arg == "off" || arg == "0" {
+				timeout = 0
+				fmt.Fprintln(out, "timeout off")
+				break
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				fmt.Fprintln(out, "error: :timeout wants a duration like 500ms or 2s, or off")
+				break
+			}
+			timeout = d
+			fmt.Fprintf(out, "timeout %s\n", d)
 		case strings.HasPrefix(line, "?"):
 			if tracing {
 				ans, _, et, err := sys.TraceAnswer(line)
@@ -201,7 +227,7 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 				fmt.Fprint(out, et.Format())
 				break
 			}
-			ans, err := sys.Answer(line)
+			ans, err := answerWithTimeout(sys, line, timeout)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break
@@ -263,4 +289,15 @@ func repl(sys *wfs.System, base string, in io.Reader, out io.Writer) {
 		}
 		fmt.Fprint(out, "wfs> ")
 	}
+}
+
+// answerWithTimeout answers one '?' query, cooperatively cancelled when
+// the :timeout deadline (if any) expires mid-evaluation.
+func answerWithTimeout(sys *wfs.System, query string, timeout time.Duration) (wfs.Truth, error) {
+	if timeout <= 0 {
+		return sys.Answer(query)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return sys.AnswerCtx(ctx, query)
 }

@@ -1,10 +1,12 @@
 package wfs
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/program"
 	"repro/internal/term"
 	"repro/internal/trace"
@@ -170,12 +172,31 @@ func (s *System) Apply(d *Delta) error { return s.ApplyTraced(d, nil) }
 // the commit hook's durability work, the in-memory commit — as children
 // of tr. A nil tr is Apply.
 func (s *System) ApplyTraced(d *Delta, tr *trace.Span) error {
+	return s.ApplyCtxTraced(context.Background(), d, tr)
+}
+
+// ApplyCtx is Apply under a context. Cancellation is honoured at two
+// points only: on entry (before the write lock is taken) and immediately
+// before the commit hook fires — the durability point. Once the hook
+// has acknowledged the batch (the write-ahead log has fsynced it), the
+// in-memory commit always completes regardless of ctx: a mutation is
+// never durable-but-not-applied, and never applied-but-not-durable.
+func (s *System) ApplyCtx(ctx context.Context, d *Delta) error {
+	return s.ApplyCtxTraced(ctx, d, nil)
+}
+
+// ApplyCtxTraced is ApplyCtx recording the mutation's phases under tr.
+func (s *System) ApplyCtxTraced(ctx context.Context, d *Delta, tr *trace.Span) error {
 	if d == nil || d.Empty() {
 		return nil
 	}
+	tok := cancel.For(ctx)
+	if tok.Cancelled() {
+		return cancelErr(tok)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.applyLocked(d.adds, d.retracts, tr)
+	return s.applyCancelLocked(d.adds, d.retracts, tok, tr)
 }
 
 // RetractFact removes every database occurrence of the ground fact
@@ -192,6 +213,15 @@ func (s *System) RetractFact(pred string, args ...string) error {
 // must hold mu. tr, when non-nil, receives the mutation's phase tree
 // under an "apply" child span.
 func (s *System) applyLocked(adds, retracts []factSpec, tr *trace.Span) error {
+	return s.applyCancelLocked(adds, retracts, nil, tr)
+}
+
+// applyCancelLocked is applyLocked under a cancellation token (nil =
+// never cancelled), polled once immediately before the commit hook: a
+// batch whose client vanished during validation is rejected before it
+// costs a durable WAL append, but a batch the hook has acknowledged
+// always commits.
+func (s *System) applyCancelLocked(adds, retracts []factSpec, tok *cancel.Token, tr *trace.Span) error {
 	if len(adds) == 0 && len(retracts) == 0 {
 		return nil
 	}
@@ -254,6 +284,11 @@ func (s *System) applyLocked(adds, retracts []factSpec, tr *trace.Span) error {
 		}
 	}
 	endValidate()
+	// Last cancellation point: past here the batch heads for the
+	// durability hook, and an acked append must always commit.
+	if tok.Cancelled() {
+		return cancelErr(tok)
+	}
 	// Durability point: the batch is fully validated, nothing has
 	// interned or committed. A hook failure (e.g. the WAL could not
 	// fsync) rejects the mutation with the database untouched; a hook

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/program"
 )
 
@@ -40,6 +41,30 @@ type Options struct {
 	// MaxAtoms caps the number of derived atoms as a safety valve; 0
 	// means no cap. If hit, Result.Truncated is set.
 	MaxAtoms int
+	// Cancel, when non-nil, is polled every cancelCheckInterval expansion
+	// steps; a tripped token stops the run with Result.Interrupted set.
+	// Never serialized (WAL checkpoints persist only the numeric bounds).
+	Cancel *cancel.Token `json:"-"`
+}
+
+// cancelCheckInterval is how many queue pops the chase runs between
+// cancellation polls: frequent enough that a guarded expansion step
+// budget of ~1k atoms bounds the response latency to well under a
+// millisecond, rare enough that the poll (one atomic load) vanishes
+// against the per-pop rule-matching work.
+const cancelCheckInterval = 1024
+
+// BudgetError reports that the MaxAtoms safety valve stopped an
+// evaluation: the derived universe hit the cap, so deeper or re-derived
+// answers cannot be computed under the configured budget. core and the
+// root wfs package re-export this type as ErrBudgetExceeded.
+type BudgetError struct {
+	Atoms int // derived atoms when the cap was hit
+	Limit int // the configured MaxAtoms cap
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("chase: atom budget exceeded: %d atoms derived, limit %d", e.Atoms, e.Limit)
 }
 
 // DefaultOptions are suitable for the examples and tests.
@@ -69,6 +94,10 @@ type Result struct {
 	Instances []Instance
 	// Truncated reports that MaxAtoms stopped the chase early.
 	Truncated bool
+	// Interrupted reports that the cancellation token stopped the chase
+	// before the frontier drained: the derived universe is a sound but
+	// incomplete prefix, so the result must not be used for answering.
+	Interrupted bool
 
 	depth []int32 // per AtomID: minimal forest depth, -1 = not derived
 	level []int32 // per AtomID: derivation level (upper bound), -1 = not derived
@@ -142,19 +171,30 @@ func Run(prog *program.Program, db program.Database, opts Options) *Result {
 // exists at any depth, so the deeper chase is identical), r is returned
 // unchanged.
 func (r *Result) Extend(prog *program.Program, newDepth int) *Result {
+	nr, _ := r.ExtendCancel(prog, newDepth, nil)
+	return nr
+}
+
+// ExtendCancel is Extend under a cancellation token, and it surfaces the
+// MaxAtoms condition as a structured *BudgetError instead of silently
+// sharing the permanently-truncated receiver: callers that deepen on an
+// answering path need to distinguish "already saturated" (receiver
+// returned, nil error) from "cannot deepen under the budget". tok may be
+// nil (never cancelled).
+func (r *Result) ExtendCancel(prog *program.Program, newDepth int, tok *cancel.Token) (*Result, error) {
 	oldDepth := r.Opts.MaxDepth
 	if newDepth <= oldDepth {
-		return r
+		return r, nil
 	}
 	if r.Truncated {
 		// MaxAtoms exhaustion is permanent (atoms are never removed), so
-		// a deeper continuation can derive nothing: share the receiver.
-		return r
+		// a deeper continuation can derive nothing.
+		return r, &BudgetError{Atoms: len(r.Atoms), Limit: r.Opts.MaxAtoms}
 	}
 	if len(r.queue) == 0 && r.ComputeStats().MaxDepth < oldDepth {
-		return r
+		return r, nil
 	}
-	nr := r.cloneForContinuation(prog, Options{MaxDepth: newDepth, MaxAtoms: r.Opts.MaxAtoms})
+	nr := r.cloneForContinuation(prog, Options{MaxDepth: newDepth, MaxAtoms: r.Opts.MaxAtoms, Cancel: tok})
 	// The frontier: atoms derived at the old cap were never enqueued for
 	// guard expansion. Under the raised cap they are expandable again.
 	for _, a := range nr.Atoms {
@@ -164,7 +204,7 @@ func (r *Result) Extend(prog *program.Program, newDepth int) *Result {
 	}
 	nr.run()
 	nr.finish()
-	return nr
+	return nr, nil
 }
 
 // cloneForContinuation copies r's mutable bookkeeping into a fresh Result
@@ -309,7 +349,16 @@ func (r *Result) enqueue(a atom.AtomID) {
 }
 
 func (r *Result) run() {
+	tok := r.Opts.Cancel
+	budget := cancelCheckInterval
 	for len(r.queue) > 0 {
+		if budget--; budget <= 0 {
+			budget = cancelCheckInterval
+			if tok.Cancelled() {
+				r.Interrupted = true
+				return
+			}
+		}
 		if r.Opts.MaxAtoms > 0 && len(r.Atoms) >= r.Opts.MaxAtoms {
 			r.Truncated = true
 			return

@@ -23,6 +23,7 @@ package chase
 
 import (
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/program"
 )
 
@@ -39,10 +40,18 @@ import (
 // atoms unexpanded, so the continuation cannot know what a from-scratch
 // chase of the grown database would derive; callers must rebuild.
 func (r *Result) ExtendDB(prog *program.Program, newDB program.Database, added []atom.AtomID) *Result {
+	return r.ExtendDBCancel(prog, newDB, added, nil)
+}
+
+// ExtendDBCancel is ExtendDB under a cancellation token (nil = never
+// cancelled); a cancelled continuation returns with Interrupted set.
+func (r *Result) ExtendDBCancel(prog *program.Program, newDB program.Database, added []atom.AtomID, tok *cancel.Token) *Result {
 	if r.Truncated {
 		return nil
 	}
-	nr := r.cloneForContinuation(prog, r.Opts)
+	opts := r.Opts
+	opts.Cancel = tok
+	nr := r.cloneForContinuation(prog, opts)
 	nr.DB = newDB
 	for _, a := range added {
 		nr.derive(a, 0, 0)
@@ -111,15 +120,23 @@ func (r *Result) tryReplay(ci int32) {
 // ordinary depth/expansion discipline computes exactly the from-scratch
 // chase of newDB — the cross-check suite enforces this.
 func (r *Result) Retract(prog *program.Program, newDB program.Database) (*Result, []int32) {
+	return r.RetractCancel(prog, newDB, nil)
+}
+
+// RetractCancel is Retract under a cancellation token (nil = never
+// cancelled); a cancelled replay returns with Interrupted set.
+func (r *Result) RetractCancel(prog *program.Program, newDB program.Database, tok *cancel.Token) (*Result, []int32) {
 	if r.Truncated {
 		return nil, nil
 	}
+	opts := r.Opts
+	opts.Cancel = tok
 	// Preallocate the bookkeeping at the source's sizes: the survivors
 	// are a subset, so nothing here regrows mid-replay.
 	nr := &Result{
 		Prog:      prog,
 		DB:        newDB,
-		Opts:      r.Opts,
+		Opts:      opts,
 		Atoms:     make([]atom.AtomID, 0, len(r.Atoms)),
 		Instances: make([]Instance, 0, len(r.Instances)),
 		depth:     make([]int32, 0, len(r.depth)),

@@ -17,18 +17,44 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
 
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/chase"
 	"repro/internal/delta"
 	"repro/internal/ground"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
+
+// ErrBudgetExceeded is the structured error answer-shaped paths return
+// when the MaxAtoms safety valve truncated the chase: the answer cannot
+// be computed under the configured budget. Introspection paths (Stats,
+// TrueFacts, constraint checks) keep serving the truncated model — the
+// partial universe is still a sound lower approximation — so the error
+// is raised by the adaptive ladder, not by evaluation itself. The root
+// wfs package re-exports the type; match with errors.As.
+type ErrBudgetExceeded = chase.BudgetError
+
+// budgetErr builds the structured budget error for a truncated chase.
+func budgetErr(res *chase.Result) error {
+	return &ErrBudgetExceeded{Atoms: len(res.Atoms), Limit: res.Opts.MaxAtoms}
+}
+
+// cancelCause converts a tripped token into the error surfaced to
+// callers: context.DeadlineExceeded for deadlines, context.Canceled for
+// disconnects/manual cancels (errors.Is-matchable either way).
+func cancelCause(tok *cancel.Token) error {
+	if err := tok.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
 
 // Algorithm selects which of the four equivalent WFS fixpoint algorithms
 // evaluates the ground program.
@@ -222,6 +248,11 @@ type Model struct {
 	// UsableDepth bounds the atoms query matching may use (see
 	// Options.GuardBand); negative when everything is usable.
 	UsableDepth int
+	// Interrupted reports that a cancellation token stopped the chase or
+	// the solve mid-way: the model is a discardable partial state, never
+	// cached and never answered from (the ladder converts it to the
+	// token's cause as an error).
+	Interrupted bool
 
 	truePerPred map[atom.PredID][]atom.AtomID // lazy index for joins
 	posPerPred  map[atom.PredID][]atom.AtomID // true ∪ undefined
@@ -253,6 +284,15 @@ func (e *Engine) EvaluateAtDepth(depth int) *Model {
 // spans of tr, with chase shape counters (see chaseCounters). tr nil is
 // the plain evaluation — cache hits record nothing either way.
 func (e *Engine) EvaluateAtDepthTraced(depth int, tr *trace.Span) *Model {
+	return e.EvaluateAtDepthCancelTraced(depth, nil, tr)
+}
+
+// EvaluateAtDepthCancelTraced is EvaluateAtDepthTraced under a
+// cancellation token (nil = never cancelled). An interrupted evaluation
+// returns a Model with Interrupted set; interrupted state is never
+// cached and never installed as the engine's resumable chase, so a
+// later un-cancelled request at the same depth evaluates cleanly.
+func (e *Engine) EvaluateAtDepthCancelTraced(depth int, tok *cancel.Token, tr *trace.Span) *Model {
 	if e.models == nil {
 		e.models = make(map[int]*Model)
 	}
@@ -261,9 +301,14 @@ func (e *Engine) EvaluateAtDepthTraced(depth int, tr *trace.Span) *Model {
 	}
 	if pm, ok := e.prevModels[depth]; ok {
 		// A model from before the last ApplyDelta: rebase it onto the
-		// current database instead of re-evaluating from scratch.
+		// current database instead of re-evaluating from scratch. The
+		// staged model is consumed only by a completed rebase — an
+		// interrupted one leaves it staged for the next request.
+		m := RebaseModelCancelTraced(pm, e.Prog, e.Opts, depth, e.DB, tok, tr)
+		if m.Interrupted {
+			return m
+		}
 		delete(e.prevModels, depth)
-		m := RebaseModelTraced(pm, e.Prog, e.Opts, depth, e.DB, tr)
 		if e.res == nil || depth >= e.res.Opts.MaxDepth {
 			e.res, e.gp = m.Chase, m.GP
 		}
@@ -275,12 +320,15 @@ func (e *Engine) EvaluateAtDepthTraced(depth int, tr *trace.Span) *Model {
 	switch {
 	case e.res != nil && depth > e.res.Opts.MaxDepth:
 		cs := tr.Child("chase-extend")
-		res = e.res.Extend(e.Prog, depth)
+		res, _ = e.res.ExtendCancel(e.Prog, depth, tok)
 		chaseCounters(cs, res)
 		cs.End()
-		if res == e.res {
-			gp = e.gp // saturated: the deeper chase is identical
-		} else {
+		switch {
+		case res == e.res:
+			gp = e.gp // saturated or truncated: the deeper chase is identical
+		case res.Interrupted:
+			return &Model{Chase: res, GP: e.gp, GM: &ground.Model{}, Interrupted: true}
+		default:
 			end := tr.Phase("reground")
 			gp = ground.ExtendFromChase(e.gp, res)
 			end()
@@ -289,17 +337,23 @@ func (e *Engine) EvaluateAtDepthTraced(depth int, tr *trace.Span) *Model {
 		res, gp = e.res, e.gp
 	default:
 		cs := tr.Child("chase")
-		res = chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms})
+		res = chase.Run(e.Prog, e.DB, chase.Options{MaxDepth: depth, MaxAtoms: e.Opts.MaxAtoms, Cancel: tok})
 		chaseCounters(cs, res)
 		cs.End()
+		if res.Interrupted {
+			return &Model{Chase: res, GP: ground.New(0, nil), GM: &ground.Model{}, Interrupted: true}
+		}
 		end := tr.Phase("ground")
 		gp = ground.FromChase(res)
 		end()
 	}
+	m := modelFromCancelTraced(e.Opts, res, gp, depth, tok, tr)
+	if m.Interrupted {
+		return m
+	}
 	if e.res == nil || depth >= e.res.Opts.MaxDepth {
 		e.res, e.gp = res, gp
 	}
-	m := modelFromTraced(e.Opts, res, gp, depth, tr)
 	e.models[depth] = m
 	return m
 }
@@ -362,18 +416,28 @@ func ExtendModel(prev *Model, prog *program.Program, opts Options, depth int) *M
 // ExtendModelTraced is ExtendModel with observability (see
 // EvaluateAtDepthTraced for the span inventory).
 func ExtendModelTraced(prev *Model, prog *program.Program, opts Options, depth int, tr *trace.Span) *Model {
+	return ExtendModelCancelTraced(prev, prog, opts, depth, nil, tr)
+}
+
+// ExtendModelCancelTraced is ExtendModelTraced under a cancellation
+// token (nil = never cancelled); an interrupted extension returns a
+// discardable Model with Interrupted set.
+func ExtendModelCancelTraced(prev *Model, prog *program.Program, opts Options, depth int, tok *cancel.Token, tr *trace.Span) *Model {
 	opts = opts.withDefaults()
 	cs := tr.Child("chase-extend")
-	res := prev.Chase.Extend(prog, depth)
+	res, _ := prev.Chase.ExtendCancel(prog, depth, tok)
 	chaseCounters(cs, res)
 	cs.End()
+	if res.Interrupted {
+		return &Model{Chase: res, GP: prev.GP, GM: prev.GM, Interrupted: true}
+	}
 	gp := prev.GP
 	if res != prev.Chase {
 		end := tr.Phase("reground")
 		gp = ground.ExtendFromChase(prev.GP, res)
 		end()
 	}
-	return modelFromTraced(opts, res, gp, depth, tr)
+	return modelFromCancelTraced(opts, res, gp, depth, tok, tr)
 }
 
 // RebaseModel carries a previously evaluated model onto a mutated
@@ -400,6 +464,23 @@ func RebaseModel(prev *Model, prog *program.Program, opts Options, depth int, ne
 // child, cone warm starts) becomes child spans of tr with the delta and
 // cone sizes as counters. tr nil is the plain rebase.
 func RebaseModelTraced(prev *Model, prog *program.Program, opts Options, depth int, newDB program.Database, tr *trace.Span) *Model {
+	return RebaseModelCancelTraced(prev, prog, opts, depth, newDB, nil, tr)
+}
+
+// interruptedModel is the discardable marker a cancelled stage returns:
+// it carries prev's (still valid, but stale) state purely so the fields
+// are non-nil, with Interrupted telling callers to convert it into the
+// token's cause and throw it away.
+func interruptedModel(prev *Model) *Model {
+	return &Model{Chase: prev.Chase, GP: prev.GP, GM: prev.GM, Interrupted: true}
+}
+
+// RebaseModelCancelTraced is RebaseModelTraced under a cancellation
+// token (nil = never cancelled). The token gates every stage — the
+// forest replay, the data-dimension continuation, the warm solves, the
+// deepening, and crucially the cold-rebuild fallback, which must not
+// run when the rebase failed *because* of the cancel.
+func RebaseModelCancelTraced(prev *Model, prog *program.Program, opts Options, depth int, newDB program.Database, tok *cancel.Token, tr *trace.Span) *Model {
 	opts = opts.withDefaults()
 	endDiff := tr.Phase("diff")
 	added, removed := delta.Diff(prev.Chase.DB, newDB)
@@ -413,19 +494,28 @@ func RebaseModelTraced(prev *Model, prog *program.Program, opts Options, depth i
 	// may have unsaturated it.
 	if prevCap := prev.Chase.Opts.MaxDepth; prevCap <= depth {
 		rb := tr.Child("delta-rebase")
-		reb, ok := delta.RebaseTraced(prev.Chase, prev.GP, prog, newDB, added, removed, rb)
+		reb, ok := delta.RebaseCancelTraced(prev.Chase, prev.GP, prog, newDB, added, removed, tok, rb)
 		rb.End()
+		if !ok && tok.Cancelled() {
+			return interruptedModel(prev)
+		}
 		if ok {
 			ws := tr.Child("warm-solve")
-			gm := ground.IncrementalModelTraced(reb.GP, prev.GM, reb.Seeds, solverFor(opts), ws)
+			gm := ground.IncrementalModelCancelTraced(reb.GP, prev.GM, reb.Seeds, solverCancelFor(opts, tok), tok, ws)
 			ws.End()
+			if gm.Interrupted {
+				return interruptedModel(prev)
+			}
 			res, gp := reb.Chase, reb.GP
 			cs := tr.Child("chase-extend")
-			ext := res.Extend(prog, depth)
+			ext, _ := res.ExtendCancel(prog, depth, tok)
 			if ext != res {
 				chaseCounters(cs, ext)
 			}
 			cs.End()
+			if ext.Interrupted {
+				return interruptedModel(prev)
+			}
 			if ext != res {
 				firstNew := len(res.Instances)
 				res = ext
@@ -437,20 +527,29 @@ func RebaseModelTraced(prev *Model, prog *program.Program, opts Options, depth i
 					seeds = append(seeds, res.Instances[i].Head)
 				}
 				ws2 := tr.Child("warm-solve")
-				gm = ground.IncrementalModelTraced(gp, gm, seeds, solverFor(opts), ws2)
+				gm = ground.IncrementalModelCancelTraced(gp, gm, seeds, solverCancelFor(opts, tok), tok, ws2)
 				ws2.End()
+				if gm.Interrupted {
+					return interruptedModel(prev)
+				}
 			}
 			return wrapModel(opts, res, gp, gm, depth)
 		}
 	}
+	if tok.Cancelled() {
+		return interruptedModel(prev)
+	}
 	cs := tr.Child("chase")
-	res := chase.Run(prog, newDB, chase.Options{MaxDepth: depth, MaxAtoms: opts.MaxAtoms})
+	res := chase.Run(prog, newDB, chase.Options{MaxDepth: depth, MaxAtoms: opts.MaxAtoms, Cancel: tok})
 	chaseCounters(cs, res)
 	cs.End()
+	if res.Interrupted {
+		return interruptedModel(prev)
+	}
 	endG := tr.Phase("ground")
 	gp := ground.FromChase(res)
 	endG()
-	return modelFromTraced(opts, res, gp, depth, tr)
+	return modelFromCancelTraced(opts, res, gp, depth, tok, tr)
 }
 
 // solverFor returns the solve path the options select, as a function
@@ -467,10 +566,20 @@ func solverFor(opts Options) func(*ground.Program) *ground.Model {
 // condense/solve phases (and, on a Detailed trace, the slowest
 // components) onto tr.
 func solverForTraced(opts Options, tr *trace.Span) func(*ground.Program) *ground.Model {
+	return solverCancelForTraced(opts, nil, tr)
+}
+
+// solverCancelFor is solverFor carrying a cancellation token into the
+// modular solve (nil = never cancelled).
+func solverCancelFor(opts Options, tok *cancel.Token) func(*ground.Program) *ground.Model {
+	return solverCancelForTraced(opts, tok, nil)
+}
+
+func solverCancelForTraced(opts Options, tok *cancel.Token, tr *trace.Span) func(*ground.Program) *ground.Model {
 	algo := algorithmFor(opts.Algorithm)
 	par := opts.Parallelism
 	return func(p *ground.Program) *ground.Model {
-		return ground.SolveModularTraced(p, algo, par, tr)
+		return ground.SolveModularCancelTraced(p, algo, par, tok, tr)
 	}
 }
 
@@ -498,6 +607,12 @@ func modelFromTraced(opts Options, res *chase.Result, gp *ground.Program, depth 
 	return wrapModel(opts, res, gp, solverForTraced(opts, tr)(gp), depth)
 }
 
+// modelFromCancelTraced is modelFromTraced with the token threaded into
+// the solve; an interrupted solve (or chase) marks the model.
+func modelFromCancelTraced(opts Options, res *chase.Result, gp *ground.Program, depth int, tok *cancel.Token, tr *trace.Span) *Model {
+	return wrapModel(opts, res, gp, solverCancelForTraced(opts, tok, tr)(gp), depth)
+}
+
 // wrapModel attaches exactness and guard-band metadata to an evaluated
 // ground model.
 func wrapModel(opts Options, res *chase.Result, gp *ground.Program, gm *ground.Model, depth int) *Model {
@@ -507,10 +622,11 @@ func wrapModel(opts Options, res *chase.Result, gp *ground.Program, gm *ground.M
 	// derive atoms at exactly the bound, but nothing beyond exists).
 	certified := opts.CertifiedDepth > 0 && depth >= opts.CertifiedDepth
 	m := &Model{
-		Chase: res,
-		GP:    gp,
-		GM:    gm,
-		Exact: !res.Truncated && (stats.MaxDepth < depth || certified),
+		Chase:       res,
+		GP:          gp,
+		GM:          gm,
+		Exact:       !res.Truncated && (stats.MaxDepth < depth || certified),
+		Interrupted: res.Interrupted || gm.Interrupted,
 	}
 	if m.Exact {
 		m.UsableDepth = -1
@@ -671,6 +787,20 @@ func AdaptiveAnswer(opts Options, modelAt func(depth int) (*Model, error),
 // entire disabled cost.
 func AdaptiveAnswerTraced(opts Options, modelAt func(depth int, tr *trace.Span) (*Model, error),
 	compile func(*Model) (*program.Query, error), tr *trace.Span) (ground.Truth, *AnswerStats, error) {
+	return AdaptiveAnswerCancelTraced(opts, modelAt, compile, nil, tr)
+}
+
+// AdaptiveAnswerCancelTraced is the ladder under a cancellation token
+// (nil = never cancelled). The token is checked before every rung, and
+// a rung whose model comes back Interrupted converts to the token's
+// cause (context.DeadlineExceeded / context.Canceled) as the error. On
+// cancellation the stats of the *completed* rungs and the last computed
+// answer are still returned alongside the error — the graceful-
+// degradation path (?partial=1) serves the deepest completed rung's
+// answer marked inexact. A rung whose chase hit the MaxAtoms valve
+// returns the structured ErrBudgetExceeded the same way.
+func AdaptiveAnswerCancelTraced(opts Options, modelAt func(depth int, tr *trace.Span) (*Model, error),
+	compile func(*Model) (*program.Query, error), tok *cancel.Token, tr *trace.Span) (ground.Truth, *AnswerStats, error) {
 	if err := opts.Validate(); err != nil {
 		return ground.False, nil, err
 	}
@@ -678,7 +808,18 @@ func AdaptiveAnswerTraced(opts Options, modelAt func(depth int, tr *trace.Span) 
 	stats := &AnswerStats{}
 	var last ground.Truth
 	agree := 0
+	rung := 0
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth; d += opts.AdaptiveStep {
+		// Poll on the first rung and every 4th after it. Cold rungs poll
+		// internally (chase pops, ground SCCs), so this between-rung
+		// check only covers runs of already-warm rungs — each sub-µs —
+		// and polling a handful of them per check keeps the token tax
+		// off the warm answer path without hurting cancellation latency.
+		if rung&3 == 0 && tok.Cancelled() {
+			tr.MarkCancelled()
+			return last, stats, cancelCause(tok)
+		}
+		rung++
 		var ds *trace.Span
 		if tr.Enabled() {
 			ds = tr.Child("depth-" + strconv.Itoa(d))
@@ -686,12 +827,23 @@ func AdaptiveAnswerTraced(opts Options, modelAt func(depth int, tr *trace.Span) 
 		m, err := modelAt(d, ds)
 		if err != nil {
 			ds.End()
-			return ground.False, nil, err
+			return last, stats, err
+		}
+		if m.Interrupted {
+			ds.MarkCancelled()
+			ds.End()
+			tr.MarkCancelled()
+			return last, stats, cancelCause(tok)
+		}
+		if m.Chase.Truncated {
+			ds.SetCount("budget_exceeded", 1)
+			ds.End()
+			return last, stats, budgetErr(m.Chase)
 		}
 		q, err := compile(m)
 		if err != nil {
 			ds.End()
-			return ground.False, nil, err
+			return last, stats, err
 		}
 		endMatch := ds.Phase("match")
 		ans := m.Answer(q)

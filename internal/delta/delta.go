@@ -18,6 +18,7 @@ package delta
 
 import (
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/chase"
 	"repro/internal/ground"
 	"repro/internal/program"
@@ -85,6 +86,17 @@ func Rebase(res *chase.Result, gp *ground.Program, prog *program.Program,
 // counters. tr nil degrades to the plain rebase.
 func RebaseTraced(res *chase.Result, gp *ground.Program, prog *program.Program,
 	newDB program.Database, added, removed []atom.AtomID, tr *trace.Span) (Result, bool) {
+	return RebaseCancelTraced(res, gp, prog, newDB, added, removed, nil, tr)
+}
+
+// RebaseCancelTraced is RebaseTraced under a cancellation token (nil =
+// never cancelled): the token is threaded into the retraction replay and
+// the data-dimension chase continuation, and polled between stages. A
+// cancelled rebase reports ok=false with an interrupted chase — callers
+// on a cancellable path must check the token before falling back to a
+// from-scratch rebuild.
+func RebaseCancelTraced(res *chase.Result, gp *ground.Program, prog *program.Program,
+	newDB program.Database, added, removed []atom.AtomID, tok *cancel.Token, tr *trace.Span) (Result, bool) {
 	if res.Truncated {
 		return Result{}, false
 	}
@@ -108,9 +120,9 @@ func RebaseTraced(res *chase.Result, gp *ground.Program, prog *program.Program,
 			}
 		}
 		endRetract := tr.Phase("retract")
-		next, dead := cur.Retract(prog, mid)
+		next, dead := cur.RetractCancel(prog, mid, tok)
 		endRetract()
-		if next == nil {
+		if next == nil || next.Interrupted {
 			return Result{}, false
 		}
 		tr.SetCount("dead_instances", int64(len(dead)))
@@ -129,9 +141,9 @@ func RebaseTraced(res *chase.Result, gp *ground.Program, prog *program.Program,
 		}
 		firstNew := len(cur.Instances)
 		endExtend := tr.Phase("extend-db")
-		next := cur.ExtendDB(prog, newDB, added)
+		next := cur.ExtendDBCancel(prog, newDB, added, tok)
 		endExtend()
-		if next == nil {
+		if next == nil || next.Interrupted {
 			return Result{}, false
 		}
 		tr.SetCount("new_instances", int64(len(next.Instances)-firstNew))

@@ -34,8 +34,15 @@ package ground
 
 import (
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/trace"
 )
+
+// cancelPollEvery is how many closure-stack pops run between token
+// polls during the cone walk — the walk touches each condensation edge
+// once, so component granularity would poll too rarely on star-shaped
+// graphs and per-pop would poll too often on chains.
+const cancelPollEvery = 256
 
 // IncrementalModel computes the well-founded model of gp by warm-starting
 // from prev, the model of an earlier revision of the program sharing gp's
@@ -59,6 +66,15 @@ func IncrementalModel(gp *Program, prev *Model, seeds []atom.AtomID, solve func(
 // on tr and the affected-cone solve as a cone-solve child span. tr nil
 // degrades to the plain warm start.
 func IncrementalModelTraced(gp *Program, prev *Model, seeds []atom.AtomID, solve func(*Program) *Model, tr *trace.Span) *Model {
+	return IncrementalModelCancelTraced(gp, prev, seeds, solve, nil, tr)
+}
+
+// IncrementalModelCancelTraced is IncrementalModelTraced under a
+// cancellation token (nil = never cancelled): the cone closure polls the
+// token per popped component, and an interrupted cone solve (the solve
+// closure is expected to carry the same token) propagates Interrupted to
+// the merged model.
+func IncrementalModelCancelTraced(gp *Program, prev *Model, seeds []atom.AtomID, solve func(*Program) *Model, tok *cancel.Token, tr *trace.Span) *Model {
 	tr.SetCount("seeds", int64(len(seeds)))
 	if prev == nil || prev.Prog == nil || gp.Atoms == nil || prev.Prog.Atoms == nil {
 		end := tr.Phase("cold-solve")
@@ -83,7 +99,15 @@ func IncrementalModelTraced(gp *Program, prev *Model, seeds []atom.AtomID, solve
 			mark(cond.Comp[i])
 		}
 	}
+	budget := cancelPollEvery
 	for len(stack) > 0 {
+		if budget--; budget <= 0 {
+			budget = cancelPollEvery
+			if tok.Cancelled() {
+				endClosure()
+				return &Model{Prog: gp, Truth: make([]Truth, n), Interrupted: true}
+			}
+		}
 		ci := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, d := range cond.DependentsOf(ci) {
@@ -200,6 +224,9 @@ func IncrementalModelTraced(gp *Program, prev *Model, seeds []atom.AtomID, solve
 	endSolve := tr.Phase("cone-solve")
 	sm := solve(New(len(subAtoms), subRules))
 	endSolve()
+	if sm.Interrupted {
+		return &Model{Prog: gp, Truth: make([]Truth, n), Interrupted: true}
+	}
 
 	out := make([]Truth, n)
 	for i := int32(0); int(i) < n; i++ {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/trace"
 )
 
@@ -118,6 +119,16 @@ func timedSolveComp(p *Program, cond *Condensation, ci int32,
 // top-k slowest components attached as child spans. tr nil degrades to
 // the plain solve.
 func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int, tr *trace.Span) *Model {
+	return SolveModularCancelTraced(p, solve, parallelism, nil, tr)
+}
+
+// SolveModularCancelTraced is SolveModularTraced under a cancellation
+// token (nil = never cancelled). The token is polled at component
+// granularity — the sequential loop, each worker's claim loop, and the
+// level barrier — so a cancel stops the solve within one component's
+// work; a stopped solve returns with Interrupted set and a partial truth
+// assignment that callers must discard.
+func SolveModularCancelTraced(p *Program, solve func(*Program) *Model, parallelism int, tok *cancel.Token, tr *trace.Span) *Model {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -143,6 +154,10 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 		// component, so run the algorithm directly — this keeps the
 		// modular path within noise of the global solve on
 		// single-component workloads (win-move cycles and the like).
+		if tok.Cancelled() {
+			return &Model{Prog: p, Truth: make([]Truth, n), Interrupted: true,
+				SCCs: ncomp, LargestSCC: cond.LargestComp, HardSCCs: cond.NumHard, Workers: 1}
+		}
 		endSolve := tr.Phase("solve")
 		m := solve(p)
 		endSolve()
@@ -173,10 +188,15 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 
 	if parallelism == 1 {
 		// Sequential: component IDs are already a bottom-up order, no
-		// levels or barriers needed.
+		// levels or barriers needed. The token is polled per component —
+		// one atomic load against a component's whole solve.
 		sc := &modScratch{}
 		rounds := 0
 		for ci := int32(0); int(ci) < ncomp; ci++ {
+			if tok.Cancelled() {
+				m.Interrupted = true
+				break
+			}
 			rounds += timedSolveComp(p, cond, ci, m.Truth, counts, sc, solve, tm)
 		}
 		m.Rounds = rounds
@@ -206,6 +226,13 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 		}
 	}()
 	for lvl := 0; lvl < cond.NumLevels(); lvl++ {
+		if tok.Cancelled() {
+			// Workers idle between levels (blocked on their feed channel),
+			// so stopping at the barrier leaks nothing; the deferred close
+			// of the feeds retires them.
+			m.Interrupted = true
+			break
+		}
 		comps := cond.CompsAtLevel(lvl)
 		if len(comps) == 1 {
 			rounds.Add(int64(timedSolveComp(p, cond, comps[0], m.Truth, counts, &scratches[0], solve, tm)))
@@ -220,7 +247,7 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 				feeds[w] = make(chan levelWork, 1)
 				go func(f chan levelWork, sc *modScratch) {
 					for lw := range f {
-						rounds.Add(int64(runLevel(p, cond, lw.comps, lw.next, m.Truth, counts, sc, solve, tm)))
+						rounds.Add(int64(runLevel(p, cond, lw.comps, lw.next, m.Truth, counts, sc, solve, tm, tok)))
 						lw.wg.Done()
 					}
 				}(feeds[w], &scratches[w+1])
@@ -233,8 +260,13 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 		for _, f := range feeds {
 			f <- lw
 		}
-		rounds.Add(int64(runLevel(p, cond, comps, &next, m.Truth, counts, &scratches[0], solve, tm)))
+		rounds.Add(int64(runLevel(p, cond, comps, &next, m.Truth, counts, &scratches[0], solve, tm, tok)))
 		wg.Wait()
+	}
+	if !m.Interrupted && tok.Cancelled() {
+		// A cancel during the final level left claims unprocessed; the
+		// token is sticky, so checking after the barrier is reliable.
+		m.Interrupted = true
 	}
 	m.Rounds = int(rounds.Load())
 	tr.SetCount("rounds", int64(m.Rounds))
@@ -243,11 +275,15 @@ func SolveModularTraced(p *Program, solve func(*Program) *Model, parallelism int
 }
 
 // runLevel claims components of one topological level off the shared
-// cursor until the level is exhausted, returning the rounds spent.
+// cursor until the level is exhausted (or the token trips), returning
+// the rounds spent.
 func runLevel(p *Program, cond *Condensation, comps []int32, next *atomic.Int32,
-	truth []Truth, counts []int32, sc *modScratch, solve func(*Program) *Model, tm *compTimer) int {
+	truth []Truth, counts []int32, sc *modScratch, solve func(*Program) *Model, tm *compTimer, tok *cancel.Token) int {
 	rounds := 0
 	for {
+		if tok.Cancelled() {
+			return rounds
+		}
 		i := int(next.Add(1)) - 1
 		if i >= len(comps) {
 			return rounds

@@ -417,6 +417,11 @@ type Model struct {
 	LargestSCC int // atoms in the largest component
 	HardSCCs   int // components with a negation cycle (full WFS fixpoint)
 	Workers    int // peak worker goroutines used by the solve
+
+	// Interrupted reports that a cancellation token stopped the solve
+	// before the fixpoint: Truth is a partial assignment and the model
+	// must not be used for answering (callers convert it to an error).
+	Interrupted bool
 }
 
 // TruthOf returns the truth of local atom a.

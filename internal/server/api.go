@@ -220,10 +220,16 @@ func answerStatsDTO(s *core.AnswerStats) *AnswerStats {
 // pinned in the flight recorder and retrievable later at
 // GET /v1/traces/{trace_id}.
 type QueryResponse struct {
-	Query   string           `json:"query"` // normalized form
-	Answer  string           `json:"answer"`
-	Cached  bool             `json:"cached"`
-	Stats   *AnswerStats     `json:"stats,omitempty"`
+	Query  string       `json:"query"` // normalized form
+	Answer string       `json:"answer"`
+	Cached bool         `json:"cached"`
+	Stats  *AnswerStats `json:"stats,omitempty"`
+	// Partial marks a gracefully degraded answer: the evaluation hit its
+	// deadline, the client asked for ?partial=1, and Answer is the
+	// deepest COMPLETED approximation rung's answer — sound for that
+	// depth but not proven stable (Stats.Exact is false). Partial
+	// answers are never cached.
+	Partial bool             `json:"partial,omitempty"`
 	Trace   *trace.EvalTrace `json:"trace,omitempty"`
 	TraceID string           `json:"trace_id,omitempty"`
 }
@@ -331,13 +337,19 @@ type ServerStatsResponse struct {
 	// Limiter saturation: requests queued for a slot right now, and
 	// cumulative rejections (429 after MaxQueueWait, 503 when the
 	// client hung up while queued).
-	Waiting          int64   `json:"waiting"`
-	RejectedTimeout  int64   `json:"rejected_timeout"`
-	RejectedCanceled int64   `json:"rejected_canceled"`
-	MaxConcurrent    int     `json:"max_concurrent"`
-	MaxQueueWaitMS   int64   `json:"max_queue_wait_ms"` // 0 = unbounded
-	SlowQueries      int64   `json:"slow_queries"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Waiting          int64 `json:"waiting"`
+	RejectedTimeout  int64 `json:"rejected_timeout"`
+	RejectedCanceled int64 `json:"rejected_canceled"`
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxQueueWaitMS   int64 `json:"max_queue_wait_ms"` // 0 = unbounded
+	// Query governance: the configured server-side deadline (0 = none)
+	// and how many queries hit it (504 or degraded ?partial=1 200) or
+	// lost their client mid-evaluation (503).
+	QueryTimeoutMS int64   `json:"query_timeout_ms"`
+	QueryTimeouts  int64   `json:"query_timeouts"`
+	QueryCancels   int64   `json:"query_cancels"`
+	SlowQueries    int64   `json:"slow_queries"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 	// WAL reports durability state; absent when the server runs without
 	// a data directory.
 	WAL *WALStats `json:"wal,omitempty"`
@@ -370,6 +382,10 @@ type WALStats struct {
 	ReplayedRecords            int     `json:"replayed_records"`
 	ReplayDurationMS           float64 `json:"replay_duration_ms"`
 	TornTails                  int64   `json:"torn_tails"`
+	// ReadonlySessions counts sessions whose WAL circuit breaker is
+	// currently open: their mutations 503 while a background probe waits
+	// for the disk to heal.
+	ReadonlySessions int64 `json:"readonly_sessions"`
 }
 
 // ErrorResponse is the uniform error body. Diagnostics is present only
@@ -383,6 +399,16 @@ type ErrorResponse struct {
 	Error       string                `json:"error"`
 	TraceID     string                `json:"trace_id,omitempty"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+	// Budget is present on 422 atom-budget rejections: how many atoms
+	// the chase had derived when it hit the configured MaxAtoms cap.
+	// Raise max_atoms (or lower depth) and retry.
+	Budget *BudgetInfo `json:"budget,omitempty"`
+}
+
+// BudgetInfo is the structured payload of an atom-budget rejection.
+type BudgetInfo struct {
+	Atoms int `json:"atoms"`
+	Limit int `json:"limit"`
 }
 
 // TraceSummary is one flight-recorder entry in the GET /v1/traces

@@ -24,6 +24,12 @@ func newDurableClient(t *testing.T, dir string, wopts wal.Options) (*testClient,
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	// Crash tests abandon the server without Close, but its background
+	// checkpointers must still be joined before t.TempDir's RemoveAll —
+	// an in-flight checkpoint writing into the dir races the cleanup.
+	// Joining writes nothing, so the crash semantics (no final
+	// checkpoint) are preserved.
+	t.Cleanup(s.reg.ckptWG.Wait)
 	return &testClient{t: t, srv: ts}, s, st
 }
 

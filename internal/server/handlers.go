@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -25,6 +26,9 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		RejectedCanceled:   s.limiter.canceled.Load(),
 		MaxConcurrent:      s.cfg.MaxConcurrent,
 		MaxQueueWaitMS:     s.cfg.MaxQueueWait.Milliseconds(),
+		QueryTimeoutMS:     s.cfg.QueryTimeout.Milliseconds(),
+		QueryTimeouts:      s.queryTimeouts.Load(),
+		QueryCancels:       s.queryCancels.Load(),
 		SlowQueries:        s.slowQueries.Load(),
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 		WAL:                s.walStats(),
@@ -136,10 +140,13 @@ func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
 		d.Add(f.Pred, f.Args...)
 	}
 	// One delta: all-or-nothing validation, one epoch bump, and the
-	// session's evaluation state rebased instead of discarded.
+	// session's evaluation state rebased instead of discarded. The
+	// request's context rides along so a client that disconnects before
+	// the WAL append is asked for nothing — once the append acks, the
+	// commit always completes regardless.
 	root := requestTrace(r).span()
-	if err := sess.Sys.ApplyTraced(d, root); err != nil {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+	if err := sess.Sys.ApplyCtxTraced(r.Context(), d, root); err != nil {
+		writeError(w, r, mutationStatus(err), fmt.Errorf("%w (nothing applied)", err))
 		return
 	}
 	s.warmAfterMutation(sess, root)
@@ -171,8 +178,8 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		d.Retract(f.Pred, f.Args...)
 	}
 	root := requestTrace(r).span()
-	if err := sess.Sys.ApplyTraced(d, root); err != nil {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("%w (nothing applied)", err))
+	if err := sess.Sys.ApplyCtxTraced(r.Context(), d, root); err != nil {
+		writeError(w, r, mutationStatus(err), fmt.Errorf("%w (nothing applied)", err))
 		return
 	}
 	s.warmAfterMutation(sess, root)
@@ -204,7 +211,7 @@ func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs
 	if v, ok := s.cache.Get(key); ok {
 		return v, true, nil
 	}
-	v, shared, err := s.flight.do(key, func() (any, error) {
+	run := func() (any, error) {
 		v, err := compute(snap)
 		if err != nil {
 			return nil, err
@@ -223,7 +230,18 @@ func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs
 			}
 		}
 		return v, nil
-	})
+	}
+	v, shared, err := s.flight.do(key, run)
+	if shared && err != nil && isCancelErr(err) {
+		// The leader's evaluation was cancelled by ITS request's
+		// deadline or disconnect, not ours — our context may have plenty
+		// of time left, and inheriting the leader's death sentence would
+		// make one impatient client fail every rider behind it. Retry
+		// once outside the group with our own compute (and so our own
+		// context); if WE are then too slow, the error is genuinely ours.
+		v, err = run()
+		shared = false
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -231,6 +249,17 @@ func (s *Server) cachedQuery(sess *Session, kind, norm string, compute func(*wfs
 		s.shared.Add(1)
 	}
 	return v, shared, nil
+}
+
+// queryContext derives the evaluation context of a query-shaped
+// request: the request's own context — so a disconnected client's
+// evaluation is cooperatively cancelled and its limiter slot freed
+// within milliseconds — bounded by the configured server-side deadline.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -242,10 +271,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.tracedQuery(w, r, sess, q, norm)
 		return
 	}
+	if r.URL.Query().Get("partial") == "1" {
+		s.partialQuery(w, r, sess, q, norm)
+		return
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	ht := requestTrace(r)
 	v, cached, err := s.cachedQuery(sess, "answer", norm, func(snap *wfs.Snapshot) (any, error) {
 		if s.cfg.SlowQueryThreshold <= 0 && s.recorder == nil {
-			ans, stats, err := snap.AnswerWithStats(q)
+			ans, stats, err := snap.AnswerCtxStats(ctx, q)
 			if err != nil {
 				return nil, err
 			}
@@ -263,7 +298,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			qspan = trace.New("query")
 		}
 		start := time.Now()
-		ans, stats, err := snap.AnswerTraced(q, qspan)
+		ans, stats, err := snap.AnswerCtxTraced(ctx, q, qspan)
 		qspan.End()
 		if err != nil {
 			return nil, err
@@ -275,11 +310,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}, nil
 	})
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeError(w, r, s.queryStatus(err), err)
 		return
 	}
 	resp := v.(QueryResponse)
 	resp.Cached = cached
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// partialQuery serves ?partial=1: graceful degradation under the query
+// deadline. An exact answer already in the cache is strictly better
+// than any partial one, so the cache is consulted; but the computation
+// runs OUTSIDE the singleflight group and a degraded answer is never
+// stored — it is sound only for the depth the deadline allowed, and a
+// later caller with more time deserves the exact one. When the deadline
+// (or a disconnect, though then nobody reads the body) cancels the
+// ladder after at least one approximation rung completed, the deepest
+// completed rung's answer is served 200 with partial=true and
+// stats.exact=false; with no completed rung there is nothing sound to
+// say, and the request fails exactly like a non-partial one.
+func (s *Server) partialQuery(w http.ResponseWriter, r *http.Request, sess *Session, q *wfs.Query, norm string) {
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	ht := requestTrace(r)
+	snap, err := sess.Sys.Snapshot()
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	key := answerKey(sess.ID(), snap.Epoch(), "answer", norm)
+	if v, ok := s.cache.Get(key); ok {
+		resp := v.(QueryResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	qspan := ht.span().Child("query")
+	if qspan == nil {
+		qspan = trace.New("query")
+	}
+	start := time.Now()
+	ans, stats, err := snap.AnswerCtxTraced(ctx, q, qspan)
+	qspan.End()
+	if d := time.Since(start); s.cfg.SlowQueryThreshold > 0 && d >= s.cfg.SlowQueryThreshold {
+		ht.markSlow()
+		s.logSlow(ht, sess.Name, norm, d, qspan.Trace())
+	}
+	if err != nil {
+		status := s.queryStatus(err) // counts the timeout/cancel even when degrading
+		if isCancelErr(err) && stats != nil && len(stats.Depths) > 0 {
+			st := answerStatsDTO(stats)
+			st.Exact = false
+			writeJSON(w, http.StatusOK, QueryResponse{
+				Query: norm, Answer: ans.String(), Stats: st, Partial: true,
+			})
+			return
+		}
+		writeError(w, r, status, err)
+		return
+	}
+	// Exact answer within the deadline: cache it like the normal path.
+	resp := QueryResponse{Query: norm, Answer: ans.String(), Stats: answerStatsDTO(stats)}
+	if cur, gerr := s.reg.Get(sess.Name); gerr == nil && cur == sess {
+		if _, epoch := sess.Sys.FactsEpoch(); epoch == snap.Epoch() {
+			s.cache.Put(key, sess.ID(), snap.Epoch(), resp)
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -292,6 +388,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // trace is pinned in the flight recorder, so it stays retrievable at
 // /v1/traces/{id} after the response is gone.
 func (s *Server) tracedQuery(w http.ResponseWriter, r *http.Request, sess *Session, q *wfs.Query, norm string) {
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	ht := requestTrace(r)
 	ht.pin()
 	snap, err := sess.Sys.Snapshot()
@@ -304,10 +402,10 @@ func (s *Server) tracedQuery(w http.ResponseWriter, r *http.Request, sess *Sessi
 		qspan = trace.NewDetailed("query")
 	}
 	start := time.Now()
-	ans, stats, err := snap.AnswerTraced(q, qspan)
+	ans, stats, err := snap.AnswerCtxTraced(ctx, q, qspan)
 	qspan.End()
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeError(w, r, s.queryStatus(err), err)
 		return
 	}
 	et := qspan.Trace()

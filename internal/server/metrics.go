@@ -275,6 +275,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.sample("wfsd_sessions", "", float64(s.reg.Len()))
 	p.family("wfsd_slow_queries_total", "Uncached queries slower than the slow-query threshold.", "counter")
 	p.sample("wfsd_slow_queries_total", "", float64(s.slowQueries.Load()))
+	p.family("wfsd_query_timeouts_total", "Queries cancelled by the server-side deadline (504, or degraded 200 under ?partial=1).", "counter")
+	p.sample("wfsd_query_timeouts_total", "", float64(s.queryTimeouts.Load()))
+	p.family("wfsd_query_cancels_total", "Queries cancelled by client disconnect mid-evaluation.", "counter")
+	p.sample("wfsd_query_cancels_total", "", float64(s.queryCancels.Load()))
 	p.family("wfsd_uptime_seconds", "Seconds since server start.", "gauge")
 	p.sample("wfsd_uptime_seconds", "", time.Since(s.started).Seconds())
 
@@ -416,6 +420,8 @@ func (s *Server) writeWALMetrics(p *promWriter) {
 	p.sample("wfsd_wal_replay_duration_seconds", "", s.recovery.Duration.Seconds())
 	p.family("wfsd_wal_torn_tails_total", "Torn/corrupt log tails dropped during recovery.", "counter")
 	p.sample("wfsd_wal_torn_tails_total", "", float64(m.TornTails))
+	p.family("wfsd_wal_readonly", "Sessions currently read-only (WAL circuit breaker open).", "gauge")
+	p.sample("wfsd_wal_readonly", "", float64(s.reg.walReadonly.Load()))
 
 	p.family("wfsd_wal_last_checkpoint_age_seconds", "Seconds since each session's newest checkpoint.", "gauge")
 	for _, name := range s.reg.Names() {

@@ -1,14 +1,19 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	wfs "repro"
 )
 
 // limiter bounds in-flight requests with a counting semaphore. Requests
@@ -26,6 +31,12 @@ type limiter struct {
 	waiting  atomic.Int64 // requests queued for a slot right now
 	timeouts atomic.Int64 // rejected 429 after maxWait
 	canceled atomic.Int64 // client gave up while queued (503)
+
+	// holdNS is an exponentially-weighted moving average of how long a
+	// request holds its slot, in nanoseconds, fed on every release. It
+	// drives the Retry-After estimate on 429s: how long until a slot
+	// actually frees, instead of a hardcoded guess.
+	holdNS atomic.Int64
 }
 
 func newLimiter(max int, maxWait time.Duration) *limiter {
@@ -46,12 +57,53 @@ func (l *limiter) wrap(h http.Handler) http.Handler {
 					return
 				}
 			}
-			defer func() { <-l.slots }()
+			start := time.Now()
+			defer func() {
+				l.observeHold(time.Since(start))
+				<-l.slots
+			}()
 		}
 		l.inFlight.Add(1)
 		defer l.inFlight.Add(-1)
 		h.ServeHTTP(w, r)
 	})
+}
+
+// observeHold folds one slot-hold duration into the drain-rate EWMA
+// (α = 1/8: smooth enough to ride out one slow outlier, fresh enough to
+// track a load shift within a dozen requests). The load–store race
+// between concurrent releases can only drop an update, never corrupt
+// the value — fine for an estimate.
+func (l *limiter) observeHold(d time.Duration) {
+	old := l.holdNS.Load()
+	if old == 0 {
+		l.holdNS.Store(int64(d))
+		return
+	}
+	l.holdNS.Store(old + (int64(d)-old)/8)
+}
+
+// retryAfterSeconds estimates when a rejected client should come back:
+// every queued request ahead of it plus its own must wait for slots to
+// drain at the observed per-slot hold time. Before any request has
+// completed there is no observation, so fall back to the configured
+// queue bound (the server just declared it could not free a slot within
+// maxWait — "retry in 1s" would be a lie). Clamped to [1s, 60s].
+func (l *limiter) retryAfterSeconds() int {
+	hold := time.Duration(l.holdNS.Load())
+	est := l.maxWait
+	if hold > 0 {
+		slots := int64(cap(l.slots))
+		est = hold * time.Duration(l.waiting.Load()/slots+1)
+	}
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // awaitSlot queues for a semaphore slot, reporting whether one was
@@ -71,7 +123,7 @@ func (l *limiter) awaitSlot(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case <-timeout:
 		l.timeouts.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(l.retryAfterSeconds()))
 		writeError(w, r, http.StatusTooManyRequests,
 			fmt.Errorf("server busy: no capacity within %v", l.maxWait))
 		return false
@@ -123,6 +175,10 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if errors.As(err, &diag) {
 		resp.Diagnostics = diag.Diagnostics
 	}
+	var budget *wfs.ErrBudgetExceeded
+	if errors.As(err, &budget) {
+		resp.Budget = &BudgetInfo{Atoms: budget.Atoms, Limit: budget.Limit}
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -162,4 +218,47 @@ func statusFor(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// isCancelErr reports a cancellation-class evaluation error: the
+// engine's cooperative cancellation surfaces the context cause
+// (DeadlineExceeded for a blown deadline, Canceled for a disconnect).
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// queryStatus maps a query-evaluation error to its HTTP status, bumping
+// the governance counters: a blown server-side deadline is 504 (the
+// gateway to the engine timed out, the request was well-formed), a
+// client that hung up mid-evaluation is 503 (nothing useful can be
+// written, but the status labels the access log and metrics), and an
+// exceeded atom budget is 422 (the query was understood but this
+// program/limit combination cannot answer it exactly — a structured
+// budget block rides along in the body). Everything else stays 400.
+func (s *Server) queryStatus(err error) int {
+	var budget *wfs.ErrBudgetExceeded
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.queryTimeouts.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.queryCancels.Add(1)
+		return http.StatusServiceUnavailable
+	case errors.As(err, &budget):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// mutationStatus maps a facts/retract failure: a WAL that cannot accept
+// the append (failing disk or open read-only breaker) is 503 — the
+// request was valid, the service degraded, retry later — as is a client
+// that disconnected before commit; validation failures stay 400.
+func mutationStatus(err error) int {
+	var walErr *ErrWALUnavailable
+	if errors.As(err, &walErr) || isCancelErr(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }

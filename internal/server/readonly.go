@@ -1,0 +1,126 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// ErrWALUnavailable reports a mutation rejected because the session's
+// write-ahead log could not durably record it: either this append
+// failed outright, or the session's circuit breaker is open (read-only
+// mode) after repeated failures. Either way the in-memory state is
+// intact and reads keep serving — the mutation was refused BEFORE
+// commit, never acked-then-lost — so the HTTP mapping is 503: retry
+// once the disk heals.
+type ErrWALUnavailable struct {
+	Name     string
+	ReadOnly bool  // rejected by the open breaker, without touching the disk
+	Err      error // the underlying append failure (nil when ReadOnly)
+}
+
+func (e *ErrWALUnavailable) Error() string {
+	if e.ReadOnly {
+		return fmt.Sprintf("server: session %q is read-only (write-ahead log failing; probing for recovery)", e.Name)
+	}
+	return fmt.Sprintf("server: session %q: write-ahead log append failed: %v", e.Name, e.Err)
+}
+
+func (e *ErrWALUnavailable) Unwrap() error { return e.Err }
+
+// breaker is a per-session circuit breaker over WAL appends. Closed, it
+// only counts consecutive failures; after threshold of them in a row it
+// opens and the session goes read-only — mutations are rejected up
+// front (503) instead of each one paying a doomed write to a dead disk,
+// while reads, which need no log, keep serving. A background probe
+// (Registry.probeUntilHealed) then writes a scratch file to the log
+// directory every interval and closes the breaker when one succeeds.
+//
+// A nil *breaker (threshold configured off) is valid and permanently
+// closed.
+type breaker struct {
+	threshold int
+	interval  time.Duration
+	fails     atomic.Int32 // consecutive append failures
+	open      atomic.Bool
+	openCount *atomic.Int64 // server-wide open-breaker gauge (wfsd_wal_readonly)
+}
+
+func (b *breaker) isOpen() bool { return b != nil && b.open.Load() }
+
+// recordFailure counts one failed append and reports whether THIS call
+// tripped the breaker open — the caller starts the probe loop exactly
+// once per trip.
+func (b *breaker) recordFailure() bool {
+	if b == nil {
+		return false
+	}
+	if int(b.fails.Add(1)) < b.threshold {
+		return false
+	}
+	if b.open.CompareAndSwap(false, true) {
+		if b.openCount != nil {
+			b.openCount.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+// recordSuccess resets the consecutive-failure count: only an unbroken
+// run of failures may trip the breaker.
+func (b *breaker) recordSuccess() {
+	if b != nil {
+		b.fails.Store(0)
+	}
+}
+
+// heal closes an open breaker (successful probe, or log gone).
+func (b *breaker) heal() {
+	if b != nil && b.open.CompareAndSwap(true, false) {
+		b.fails.Store(0)
+		if b.openCount != nil {
+			b.openCount.Add(-1)
+		}
+	}
+}
+
+// newBreaker builds a session's breaker from the registry's sizing; nil
+// when the breaker is configured off.
+func (r *Registry) newBreaker() *breaker {
+	if r.breakerThreshold <= 0 {
+		return nil
+	}
+	interval := r.probeInterval
+	if interval <= 0 {
+		interval = DefaultWALProbeInterval
+	}
+	return &breaker{threshold: r.breakerThreshold, interval: interval, openCount: &r.walReadonly}
+}
+
+// probeUntilHealed is the open breaker's background loop: probe the
+// session's log directory every interval until a probe succeeds (disk
+// healed — close the breaker, mutations flow again) or the log is
+// closed (shutdown or session deletion — nothing left to heal, but
+// close the breaker anyway so the read-only gauge doesn't count a dead
+// session forever).
+func (r *Registry) probeUntilHealed(sess *Session) {
+	for {
+		time.Sleep(sess.breaker.interval)
+		err := sess.wlog.Probe()
+		if err == nil {
+			sess.breaker.heal()
+			if r.logger != nil {
+				r.logger.Printf("wal: session %q log writable again, leaving read-only mode", sess.Name)
+			}
+			return
+		}
+		if errors.Is(err, wal.ErrClosed) {
+			sess.breaker.heal()
+			return
+		}
+	}
+}

@@ -41,6 +41,23 @@ type Config struct {
 	// DefaultTraceBufferSize, negative disables the recorder (requests
 	// still carry trace IDs, but no traces are retained).
 	TraceBufferSize int
+	// QueryTimeout bounds each uncached query evaluation with a
+	// server-side deadline: a query still running when it expires is
+	// cooperatively cancelled (its limiter slot and goroutines released
+	// within milliseconds) and answered 504, or — when the client opted
+	// in with ?partial=1 — degraded to the deepest completed rung's
+	// answer marked inexact. 0 disables the server-side deadline; the
+	// client's own disconnect always cancels regardless.
+	QueryTimeout time.Duration
+	// WALFailureThreshold is how many CONSECUTIVE WAL append failures
+	// trip a session's circuit breaker into read-only mode (mutations
+	// 503, reads keep serving, a background probe heals the breaker when
+	// the disk recovers); 0 means DefaultWALFailureThreshold, negative
+	// disables the breaker.
+	WALFailureThreshold int
+	// WALProbeInterval is how often a read-only session probes its log
+	// directory for healing; non-positive means DefaultWALProbeInterval.
+	WALProbeInterval time.Duration
 	// Logger receives panic and lifecycle logs; nil discards them.
 	Logger *log.Logger
 	// AccessLogger receives one structured line per request; nil
@@ -56,6 +73,13 @@ const (
 	DefaultMaxBodyBytes    = 8 << 20 // 8 MiB: program text can be sizeable
 	DefaultMaxQueueWait    = 5 * time.Second
 	DefaultTraceBufferSize = 512
+	// DefaultWALFailureThreshold trips a session read-only after this
+	// many consecutive append failures: one failure is often a blip (a
+	// transient EIO the client retries through); three in a row is a
+	// full disk or a dead volume, and continuing to accept mutations
+	// would reject every one while hammering the device.
+	DefaultWALFailureThreshold = 3
+	DefaultWALProbeInterval    = 2 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -92,6 +116,18 @@ func (c Config) withDefaults() Config {
 	case c.TraceBufferSize < 0:
 		c.TraceBufferSize = 0 // recorder: 0 = disabled
 	}
+	switch {
+	case c.WALFailureThreshold == 0:
+		c.WALFailureThreshold = DefaultWALFailureThreshold
+	case c.WALFailureThreshold < 0:
+		c.WALFailureThreshold = 0 // breaker: 0 = disabled
+	}
+	if c.WALProbeInterval <= 0 {
+		c.WALProbeInterval = DefaultWALProbeInterval
+	}
+	if c.QueryTimeout < 0 {
+		c.QueryTimeout = 0 // 0 = no server-side deadline
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -109,8 +145,15 @@ type Server struct {
 	slowQueries atomic.Int64 // uncached queries over SlowQueryThreshold
 	limiter     *limiter
 	httpMetrics *httpMetrics
-	recorder    *trace.Recorder // flight recorder; nil = disabled
-	started     time.Time
+
+	// Resource-governance outcome counters, surfaced in /v1/stats and
+	// /metrics: queries that hit the server-side deadline (504, or a
+	// degraded 200 under ?partial=1) and queries whose client
+	// disconnected mid-evaluation (503).
+	queryTimeouts atomic.Int64
+	queryCancels  atomic.Int64
+	recorder      *trace.Recorder // flight recorder; nil = disabled
+	started       time.Time
 
 	// Durability (nil = in-memory only); set by OpenWAL before the
 	// listener starts. recovery records what startup replay did, for
@@ -135,6 +178,10 @@ func New(cfg Config) *Server {
 	}
 	// Background work (checkpoints) records its traces too.
 	s.reg.recorder = s.recorder
+	// Circuit-breaker sizing for sessions that gain a WAL later
+	// (OpenWAL recovery and every subsequent create).
+	s.reg.breakerThreshold = cfg.WALFailureThreshold
+	s.reg.probeInterval = cfg.WALProbeInterval
 	return s
 }
 
@@ -227,6 +274,11 @@ func (s *Server) Close() error {
 	if s.wal == nil {
 		return nil
 	}
+	// Join in-flight background checkpoints first: the final
+	// CheckpointAll must be the last writer, not race a threshold-
+	// triggered one still running. No new ones start — the listener has
+	// drained, and checkpoints are only scheduled by mutation commits.
+	s.reg.ckptWG.Wait()
 	err := s.reg.CheckpointAll()
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
@@ -253,6 +305,7 @@ func (s *Server) walStats() *WALStats {
 		ReplayedRecords:    s.recovery.ReplayedRecords,
 		ReplayDurationMS:   float64(s.recovery.Duration.Nanoseconds()) / 1e6,
 		TornTails:          m.TornTails,
+		ReadonlySessions:   s.reg.walReadonly.Load(),
 	}
 	for i, ub := range wal.FsyncBuckets {
 		ws.FsyncHistogram = append(ws.FsyncHistogram, WALBucket{LESeconds: ub, Count: m.FsyncBuckets[i]})

@@ -34,6 +34,9 @@ type Session struct {
 	opts     wfs.Options
 	wlog     *wal.SessionLog
 	ckptBusy atomic.Bool
+	// breaker trips the session into read-only mode after consecutive
+	// WAL append failures (nil = breaker disabled). See readonly.go.
+	breaker *breaker
 
 	// id is unique across all sessions ever created in this process,
 	// including recreations under a reused name. Cache keys embed it
@@ -63,10 +66,24 @@ type Registry struct {
 	wal    *wal.Manager
 	logger *log.Logger
 
+	// Circuit-breaker sizing for per-session read-only protection
+	// (breakerThreshold 0 = disabled) and the count of sessions whose
+	// breaker is currently open, for the wfsd_wal_readonly gauge. Set
+	// once by server.New.
+	breakerThreshold int
+	probeInterval    time.Duration
+	walReadonly      atomic.Int64
+
 	// recorder, when non-nil, receives traces of background durability
 	// work (checkpoints) that no HTTP request observes. Set once by
 	// server.New.
 	recorder *trace.Recorder
+
+	// ckptWG counts in-flight background checkpoints so shutdown (and
+	// tests tearing down a data dir) can join them: an unjoined
+	// checkpointer would race its segment writes against the final
+	// CheckpointAll, or against removal of the directory it writes to.
+	ckptWG sync.WaitGroup
 }
 
 // NewRegistry returns an empty registry bounded to maxSessions.
@@ -218,14 +235,31 @@ func (r *Registry) CreateTraced(name, src string, opts wfs.Options, tr *trace.Sp
 // manager's fsync option) sync every validated mutation batch to the
 // session log BEFORE the in-memory commit — a log failure rejects the
 // mutation — and schedule a background checkpoint when the un-
-// checkpointed log crosses its threshold.
+// checkpointed log crosses its threshold. Append failures feed the
+// session's circuit breaker: after threshold consecutive failures the
+// session goes read-only and mutations are refused up front until a
+// background probe sees the disk heal (see readonly.go).
 func (r *Registry) attachWAL(sess *Session) {
+	sess.breaker = r.newBreaker()
 	sess.Sys.SetCommitHookTraced(func(epoch uint64, adds, retracts []wfs.FactRef, tr *trace.Span) error {
-		if err := sess.wlog.AppendTraced(epoch, adds, retracts, tr); err != nil {
-			return err
+		if sess.breaker.isOpen() {
+			return &ErrWALUnavailable{Name: sess.Name, ReadOnly: true}
 		}
+		if err := sess.wlog.AppendTraced(epoch, adds, retracts, tr); err != nil {
+			if sess.breaker.recordFailure() {
+				if r.logger != nil {
+					r.logger.Printf("wal: session %q entering read-only mode after %d consecutive append failures: %v",
+						sess.Name, sess.breaker.threshold, err)
+				}
+				go r.probeUntilHealed(sess)
+			}
+			return &ErrWALUnavailable{Name: sess.Name, Err: err}
+		}
+		sess.breaker.recordSuccess()
 		if sess.wlog.NeedCheckpoint() && sess.ckptBusy.CompareAndSwap(false, true) {
+			r.ckptWG.Add(1)
 			go func() {
+				defer r.ckptWG.Done()
 				defer sess.ckptBusy.Store(false)
 				// The dump inside blocks on the system read lock until
 				// the triggering mutation commits; rotation has already

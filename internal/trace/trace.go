@@ -155,6 +155,14 @@ func (s *Span) SetCount(name string, v int64) {
 	s.mu.Unlock()
 }
 
+// MarkCancelled annotates the span as having been cut short by
+// cooperative cancellation (query deadline, client disconnect, manual
+// cancel). The flight recorder and /v1/traces surface the counter so a
+// truncated span tree is distinguishable from a cheap one.
+func (s *Span) MarkCancelled() {
+	s.SetCount("cancelled", 1)
+}
+
 // AttachTimed records an already-measured child phase (start inferred
 // from the given duration ending now is not meaningful, so the child
 // carries only the duration). Used by instrumentation that measures with

@@ -58,40 +58,44 @@ func parseEpoch(name, suffix string) (uint64, bool) {
 // writeCheckpoint atomically persists ck into dir: frame the JSON, write
 // to a temp file, fsync it, rename to its final epoch-stamped name, and
 // fsync the directory so the rename itself is durable.
-func writeCheckpoint(dir string, ck Checkpoint) error {
+func writeCheckpoint(fsys FS, dir string, ck Checkpoint) error {
 	payload, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("wal: encode checkpoint: %w", err)
 	}
 	frame := appendFrame(make([]byte, 0, frameHeader+len(payload)), payload)
 	tmp := filepath.Join(dir, ckptTmp)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if _, err := f.Write(frame); err == nil {
+	// NB: assign to err, never shadow it — a swallowed write error here
+	// would rename a torn checkpoint into place and let GC delete the
+	// good one it supposedly superseded, losing acked state.
+	_, err = f.Write(frame)
+	if err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	final := filepath.Join(dir, ckptName(ck.Epoch))
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // readCheckpoint loads and validates one checkpoint file: exactly one
 // intact frame holding well-formed JSON.
-func readCheckpoint(path string) (Checkpoint, error) {
+func readCheckpoint(fsys FS, path string) (Checkpoint, error) {
 	var ck Checkpoint
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return ck, err
 	}
@@ -114,8 +118,8 @@ func readCheckpoint(path string) (Checkpoint, error) {
 
 // listByEpoch returns the files in dir with the given suffix, sorted by
 // ascending embedded epoch. Foreign files are ignored.
-func listByEpoch(dir, suffix string) ([]string, []uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listByEpoch(fsys FS, dir, suffix string) ([]string, []uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -143,14 +147,19 @@ func listByEpoch(dir, suffix string) ([]string, []uint64, error) {
 }
 
 // syncDir fsyncs a directory so entry creations/renames/removals within
-// it are durable. Best effort on platforms where directories cannot be
-// fsynced.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// it are durable. A directory that cannot be opened is tolerated (some
+// platforms cannot fsync directories at all), but a sync that the
+// filesystem actively fails is reported — an injected EIO here must not
+// be silently acked as durable.
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return nil
 	}
-	defer d.Close()
-	_ = d.Sync()
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
 	return nil
 }

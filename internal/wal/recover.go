@@ -51,7 +51,7 @@ func (m *Manager) Recover() ([]Recovered, []Skipped, error) {
 // replayed/torn counters) under tr — the span tree the server pins into
 // the flight recorder as the startup trace. A nil tr is Recover.
 func (m *Manager) RecoverTraced(tr *trace.Span) ([]Recovered, []Skipped, error) {
-	ents, err := os.ReadDir(m.dir)
+	ents, err := m.fsys().ReadDir(m.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: recover: %w", err)
 	}
@@ -90,7 +90,7 @@ func (m *Manager) RecoverTraced(tr *trace.Span) ([]Recovered, []Skipped, error) 
 // under tr (nil disables tracing).
 func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) {
 	endLoad := tr.Phase("load-checkpoint")
-	ck, err := loadNewestCheckpoint(dir)
+	ck, err := loadNewestCheckpoint(m.fsys(), dir)
 	endLoad()
 	if err != nil {
 		return Recovered{}, err
@@ -111,7 +111,7 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 
 	endReplay := tr.Phase("replay")
 	defer endReplay() // idempotent; covers the replay error returns
-	segs, _, err := listByEpoch(dir, segSuffix)
+	segs, _, err := listByEpoch(m.fsys(), dir, segSuffix)
 	if err != nil {
 		return Recovered{}, err
 	}
@@ -122,7 +122,7 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 	// still holds records after repair, and its valid length.
 	lastSeg, lastSize := "", int64(0)
 	for i, path := range segs {
-		data, err := os.ReadFile(path)
+		data, err := m.fsys().ReadFile(path)
 		if err != nil {
 			return Recovered{}, err
 		}
@@ -130,7 +130,7 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 			// A crash between segment creation and the first write leaves
 			// an empty file named for an epoch that has not committed;
 			// drop it so a future append can recreate that name.
-			if err := os.Remove(path); err != nil {
+			if err := m.fsys().Remove(path); err != nil {
 				return Recovered{}, err
 			}
 			continue
@@ -170,21 +170,21 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 			rec.TornTail = true
 			m.met.tornTails.Add(1)
 			if valid == 0 {
-				if err := os.Remove(path); err != nil {
+				if err := m.fsys().Remove(path); err != nil {
 					return Recovered{}, err
 				}
 			} else {
-				if err := os.Truncate(path, valid); err != nil {
+				if err := m.fsys().Truncate(path, valid); err != nil {
 					return Recovered{}, err
 				}
 				lastSeg, lastSize = path, valid
 			}
 			for _, later := range segs[i+1:] {
-				if err := os.Remove(later); err != nil {
+				if err := m.fsys().Remove(later); err != nil {
 					return Recovered{}, err
 				}
 			}
-			syncDir(dir)
+			syncDir(m.fsys(), dir)
 			break
 		}
 		if valid > 0 {
@@ -204,7 +204,7 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 	}
 	l.ckptAt.Store(ck.WrittenAtUnixNano)
 	if lastSeg != "" {
-		f, err := os.OpenFile(lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := m.fsys().OpenFile(lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return Recovered{}, err
 		}
@@ -220,14 +220,14 @@ func (m *Manager) recoverSession(dir string, tr *trace.Span) (Recovered, error) 
 // checkpoint write can leave a bad newest file only if the rename
 // happened; the previous checkpoint is never deleted before the new one
 // is durable).
-func loadNewestCheckpoint(dir string) (Checkpoint, error) {
-	paths, _, err := listByEpoch(dir, ckptSuffix)
+func loadNewestCheckpoint(fsys FS, dir string) (Checkpoint, error) {
+	paths, _, err := listByEpoch(fsys, dir, ckptSuffix)
 	if err != nil {
 		return Checkpoint{}, err
 	}
 	var lastErr error
 	for i := len(paths) - 1; i >= 0; i-- {
-		ck, err := readCheckpoint(paths[i])
+		ck, err := readCheckpoint(fsys, paths[i])
 		if err == nil {
 			return ck, nil
 		}

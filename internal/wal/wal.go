@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,12 @@ import (
 	wfs "repro"
 	"repro/internal/trace"
 )
+
+// ErrClosed marks operations against a session log that has been
+// closed (shutdown or session deletion). The read-only circuit
+// breaker's heal probe distinguishes it (errors.Is) from a disk that is
+// still failing: a closed log means stop probing, not keep waiting.
+var ErrClosed = errors.New("closed")
 
 // Durability defaults: how much un-checkpointed log a session may
 // accumulate before the next mutation triggers a background checkpoint.
@@ -37,6 +44,10 @@ type Options struct {
 	// accumulate since the last one; 0 means DefaultCheckpointBytes,
 	// negative disables the byte trigger.
 	CheckpointBytes int64
+	// FS overrides the filesystem all durability I/O goes through; nil
+	// means the real OS filesystem. Tests inject failing filesystems to
+	// exercise disk-fault handling (see FS).
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +62,9 @@ func (o Options) withDefaults() Options {
 		o.CheckpointBytes = DefaultCheckpointBytes
 	case o.CheckpointBytes < 0:
 		o.CheckpointBytes = 0 // disabled
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -69,15 +83,19 @@ type Manager struct {
 // manager. Open does not read anything — call Recover to rebuild the
 // sessions persisted by a previous process.
 func Open(dir string, opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
 	sessions := filepath.Join(dir, "sessions")
-	if err := os.MkdirAll(sessions, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(sessions, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
-	return &Manager{dir: sessions, opts: opts.withDefaults(), logs: make(map[string]*SessionLog)}, nil
+	return &Manager{dir: sessions, opts: opts, logs: make(map[string]*SessionLog)}, nil
 }
 
 // Metrics returns the manager-wide durability counters.
 func (m *Manager) Metrics() *Metrics { return &m.met }
+
+// fsys returns the filesystem all I/O goes through (osFS by default).
+func (m *Manager) fsys() FS { return m.opts.FS }
 
 // sessionDir maps a session name to its directory. base64url is
 // injective and filesystem-safe for every name the server's session-name
@@ -104,19 +122,19 @@ func (m *Manager) CreateTraced(name string, ck Checkpoint, tr *trace.Span) (*Ses
 	defer sp.End()
 	sp.SetCount("facts", int64(len(ck.Facts)))
 	dir := m.sessionDir(name)
-	if _, err := os.Stat(dir); err == nil {
+	if _, err := m.fsys().Stat(dir); err == nil {
 		return nil, fmt.Errorf("wal: session log for %q already exists", name)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := m.fsys().MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create session %q: %w", name, err)
 	}
 	ck.Name = name
 	ck.WrittenAtUnixNano = time.Now().UnixNano()
-	if err := writeCheckpoint(dir, ck); err != nil {
-		os.RemoveAll(dir)
+	if err := writeCheckpoint(m.fsys(), dir, ck); err != nil {
+		m.fsys().RemoveAll(dir)
 		return nil, err
 	}
-	if err := syncDir(m.dir); err != nil {
+	if err := syncDir(m.fsys(), m.dir); err != nil {
 		return nil, err
 	}
 	l := &SessionLog{man: m, dir: dir, name: name, head: ck.Epoch, ckptEpoch: ck.Epoch}
@@ -138,10 +156,10 @@ func (m *Manager) Remove(name string) error {
 	if l != nil {
 		l.Close()
 	}
-	if err := os.RemoveAll(m.sessionDir(name)); err != nil {
+	if err := m.fsys().RemoveAll(m.sessionDir(name)); err != nil {
 		return fmt.Errorf("wal: remove session %q: %w", name, err)
 	}
-	return syncDir(m.dir)
+	return syncDir(m.fsys(), m.dir)
 }
 
 // Close fsyncs and closes every open session log. Callers that want a
@@ -176,7 +194,7 @@ type SessionLog struct {
 
 	mu        sync.Mutex
 	closed    bool
-	f         *os.File // live segment, nil when none is open
+	f         File // live segment, nil when none is open
 	segSize   int64
 	head      uint64 // last epoch appended (= checkpoint epoch when log is empty)
 	sinceRecs int    // records since the last checkpoint
@@ -218,7 +236,7 @@ func (l *SessionLog) AppendTraced(epoch uint64, adds, retracts []wfs.FactRef, tr
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("wal: session log %q is closed", l.name)
+		return fmt.Errorf("wal: session log %q is %w", l.name, ErrClosed)
 	}
 	if epoch != l.head+1 {
 		return fmt.Errorf("wal: session %q: append epoch %d, want %d (gap would corrupt replay)",
@@ -226,13 +244,14 @@ func (l *SessionLog) AppendTraced(epoch uint64, adds, retracts []wfs.FactRef, tr
 	}
 	if l.f == nil {
 		path := filepath.Join(l.dir, segName(epoch))
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		f, err := l.man.fsys().OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err != nil {
 			l.man.met.appendErrors.Add(1)
 			return fmt.Errorf("wal: session %q: %w", l.name, err)
 		}
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.man.fsys(), l.dir); err != nil {
 			f.Close()
+			l.man.met.appendErrors.Add(1)
 			return err
 		}
 		l.f, l.segSize = f, 0
@@ -307,9 +326,9 @@ func (l *SessionLog) CheckpointTraced(dump func() Checkpoint, tr *trace.Span) er
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return fmt.Errorf("wal: session log %q is closed", l.name)
+		return fmt.Errorf("wal: session log %q is %w", l.name, ErrClosed)
 	}
-	old, _, err := listByEpoch(l.dir, segSuffix)
+	old, _, err := listByEpoch(l.man.fsys(), l.dir, segSuffix)
 	if err != nil {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: session %q: %w", l.name, err)
@@ -341,30 +360,65 @@ func (l *SessionLog) CheckpointTraced(dump func() Checkpoint, tr *trace.Span) er
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("wal: session log %q is closed", l.name)
+		return fmt.Errorf("wal: session log %q is %w", l.name, ErrClosed)
 	}
-	if err := writeCheckpoint(l.dir, ck); err != nil {
+	if err := writeCheckpoint(l.man.fsys(), l.dir, ck); err != nil {
 		l.man.met.checkpointFailures.Add(1)
 		return err
 	}
 	// GC: every segment that existed at rotation holds only epochs ≤
-	// ck.Epoch; older checkpoints are strictly dominated.
+	// ck.Epoch; older checkpoints are strictly dominated. A failed
+	// removal leaves a dominated file behind — harmless to recovery,
+	// which always prefers the newest valid checkpoint.
 	for _, p := range old {
-		os.Remove(p)
+		l.man.fsys().Remove(p)
 	}
-	if cks, eps, err := listByEpoch(l.dir, ckptSuffix); err == nil {
+	if cks, eps, err := listByEpoch(l.man.fsys(), l.dir, ckptSuffix); err == nil {
 		for i, p := range cks {
 			if eps[i] < ck.Epoch {
-				os.Remove(p)
+				l.man.fsys().Remove(p)
 			}
 		}
 	}
-	syncDir(l.dir)
+	syncDir(l.man.fsys(), l.dir)
 	l.ckptEpoch = ck.Epoch
 	l.ckptAt.Store(ck.WrittenAtUnixNano)
 	l.sinceRecs = 0
 	l.sinceByte = 0
 	l.man.met.checkpoints.Add(1)
+	return nil
+}
+
+// Probe verifies the log's directory accepts durable writes again:
+// create a scratch file, write, fsync, remove. The read-only circuit
+// breaker calls this to decide whether a disk that failed K consecutive
+// appends has healed (an admin freed space or remounted the volume)
+// before letting mutations through again. The probe file never collides
+// with segment or checkpoint names, so a crash mid-probe leaves only an
+// ignorable foreign file.
+func (l *SessionLog) Probe() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: session log %q is %w", l.name, ErrClosed)
+	}
+	fsys := l.man.fsys()
+	path := filepath.Join(l.dir, "probe.tmp")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: session %q: probe: %w", l.name, err)
+	}
+	_, err = f.Write([]byte("probe"))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	fsys.Remove(path)
+	if err != nil {
+		return fmt.Errorf("wal: session %q: probe: %w", l.name, err)
+	}
 	return nil
 }
 

@@ -215,7 +215,7 @@ func TestCrashTruncationSweep(t *testing.T) {
 	}
 
 	sessDir := man.sessionDir("s")
-	segs, _, err := listByEpoch(sessDir, segSuffix)
+	segs, _, err := listByEpoch(osFS{}, sessDir, segSuffix)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("segments: %v (%v)", segs, err)
 	}
@@ -296,7 +296,7 @@ func TestCrashTruncationSweep(t *testing.T) {
 		}
 		// The repaired segment is the consistent prefix (or gone).
 		if wantValid == 0 {
-			if segs, _, _ := listByEpoch(crashSess, segSuffix); len(segs) != 0 {
+			if segs, _, _ := listByEpoch(osFS{}, crashSess, segSuffix); len(segs) != 0 {
 				t.Fatalf("cut %d: want no segments after repair, got %v", cut, segs)
 			}
 		} else {
@@ -432,10 +432,10 @@ func TestCheckpointGC(t *testing.T) {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	sessDir := man.sessionDir("s")
-	if segs, _, _ := listByEpoch(sessDir, segSuffix); len(segs) != 0 {
+	if segs, _, _ := listByEpoch(osFS{}, sessDir, segSuffix); len(segs) != 0 {
 		t.Fatalf("segments after checkpoint: %v", segs)
 	}
-	cks, eps, _ := listByEpoch(sessDir, ckptSuffix)
+	cks, eps, _ := listByEpoch(osFS{}, sessDir, ckptSuffix)
 	if len(cks) != 1 || eps[0] != 5 {
 		t.Fatalf("checkpoints after GC: %v at %v", cks, eps)
 	}

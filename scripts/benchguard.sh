@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # benchguard.sh — fail when the hot query path regresses.
 #
-# Two checks over BenchmarkParallelAnswer, each on the best of a few
+# Three checks over BenchmarkParallelAnswer, each on the best of a few
 # runs to squeeze out scheduler noise:
 #
 #   1. Absolute: /snapshot (the warm-snapshot answer path, the number
@@ -13,6 +13,12 @@
 #      to a full flight-recorder reservoir — the served steady state)
 #      against /snapshot from the SAME run. More than 5% over fails;
 #      this is the recorder-enabled budget and is machine-independent.
+#   3. Differential: /cancelcheck (the same path answered through
+#      AnswerCtx under a cancellable context — the server's actual
+#      steady state, with the cooperative-cancellation polling compiled
+#      in) against /snapshot from the SAME run. More than 5% over
+#      fails; this is the resource-governance budget. In practice the
+#      warm-exact fast path makes this come in at or below /snapshot.
 #
 # The absolute baseline is machine-specific; CI runner classes close to
 # the recorded CPU make that comparison meaningful, and the 15% slack
@@ -28,12 +34,13 @@ if [ -z "$BASE" ]; then
 fi
 
 OUT=${1:-bench-parallel.txt}
-go test -bench='ParallelAnswer/(snapshot|recorder)' -benchtime=500ms -count=4 -run='^$' . | tee "$OUT"
+go test -bench='ParallelAnswer/(snapshot|recorder|cancelcheck)' -benchtime=500ms -count=4 -run='^$' . | tee "$OUT"
 
 SNAP=$(awk '$1 ~ /^BenchmarkParallelAnswer\/snapshot/ {print $(NF-1)}' "$OUT" | sort -n | head -1)
 REC=$(awk '$1 ~ /^BenchmarkParallelAnswer\/recorder/ {print $(NF-1)}' "$OUT" | sort -n | head -1)
-if [ -z "$SNAP" ] || [ -z "$REC" ]; then
-    echo "benchguard: benchmark output missing from $OUT (snapshot=$SNAP recorder=$REC)" >&2
+CANCEL=$(awk '$1 ~ /^BenchmarkParallelAnswer\/cancelcheck/ {print $(NF-1)}' "$OUT" | sort -n | head -1)
+if [ -z "$SNAP" ] || [ -z "$REC" ] || [ -z "$CANCEL" ]; then
+    echo "benchguard: benchmark output missing from $OUT (snapshot=$SNAP recorder=$REC cancelcheck=$CANCEL)" >&2
     exit 1
 fi
 
@@ -55,4 +62,14 @@ awk -v snap="$SNAP" -v rec="$REC" 'BEGIN {
         exit 1
     }
     printf "benchguard: ok (recorder tax %.1f%%)\n", (rec / snap - 1) * 100
+}'
+
+awk -v snap="$SNAP" -v cancel="$CANCEL" 'BEGIN {
+    limit = snap * 1.05
+    printf "benchguard: cancelcheck %.1f ns/op vs snapshot %.1f ns/op, limit %.1f ns/op (+5%%)\n", cancel, snap, limit
+    if (cancel > limit) {
+        printf "benchguard: FAIL — cancellation-check tax %.1f%% over the same-run snapshot\n", (cancel / snap - 1) * 100
+        exit 1
+    }
+    printf "benchguard: ok (cancellation-check tax %.1f%%)\n", (cancel / snap - 1) * 100
 }'

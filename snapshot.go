@@ -1,6 +1,7 @@
 package wfs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atom"
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/program"
@@ -74,13 +76,18 @@ type Snapshot struct {
 }
 
 // snapModel lazily evaluates one model over a private overlay store. The
-// sync.Once makes construction race-free; after it, the model and its
-// (frozen) overlay store are read-only. A snapModel with a prev pointer
-// is a ladder rung: it extends prev's chase into a fresh overlay over
-// prev's frozen store rather than running a private full chase. A
-// snapModel with a reb pointer can instead rebase the same-depth rung of
-// the previous epoch's snapshot onto the applied delta — preferred when
-// that rung was actually materialized, since it reuses all of its work.
+// mutex + done flag make construction race-free while letting a
+// cancelled build abort cleanly: a build interrupted by its caller's
+// deadline installs nothing, so the rung stays cold and the next caller
+// (with a live token) rebuilds it — a cancelled request can never poison
+// a rung for every later reader. After done is set, the model and its
+// (frozen) overlay store are read-only and reads take no lock. A
+// snapModel with a prev pointer is a ladder rung: it extends prev's
+// chase into a fresh overlay over prev's frozen store rather than
+// running a private full chase. A snapModel with a reb pointer can
+// instead rebase the same-depth rung of the previous epoch's snapshot
+// onto the applied delta — preferred when that rung was actually
+// materialized, since it reuses all of its work.
 type snapModel struct {
 	depth int
 	prev  *snapModel // previous rung of this snapshot; nil for the first rung and for base
@@ -91,58 +98,72 @@ type snapModel struct {
 	// evaluation state reachable. Atomic because later epochs' rebase
 	// walks read it concurrently with the clear.
 	reb  atomic.Pointer[snapModel]
-	once sync.Once
-	done atomic.Bool // set after once completes; read by later epochs' rebase walks
+	mu   sync.Mutex
+	done atomic.Bool // set after a completed build installs m; read lock-free
 	m    *core.Model
 }
 
-// get returns (building at most once) the rung's model. tr, when
-// non-nil, is the caller's trace span: whichever goroutine wins the
-// sync.Once records the build's phase tree under it (losers of the race
-// observe only their wait; see Snapshot.rungAt). A build span is
-// recorded even with tr nil — standalone, solely to feed the System's
-// always-on EngineMetrics — which costs a handful of time.Now calls on
-// an operation that chases and solves a whole model.
-func (sm *snapModel) get(s *Snapshot, tr *trace.Span) *core.Model {
-	sm.once.Do(func() {
-		build := tr.Child("build-depth-" + strconv.Itoa(sm.depth))
-		if build == nil {
-			build = trace.New("build-depth-" + strconv.Itoa(sm.depth))
-		}
-		rebased := false
-		defer func() {
-			sm.reb.Store(nil) // release the previous-epoch chain
-			sm.done.Store(true)
+// get returns (building if necessary) the rung's model. tok, when
+// non-nil, is the calling request's cancellation token: a build cut
+// short by it returns the token's cause as the error and leaves the rung
+// unbuilt. tr, when non-nil, is the caller's trace span: whichever
+// goroutine wins the build lock records the build's phase tree under it
+// (losers of the race observe only their wait; see Snapshot.rungAt). A
+// build span is recorded even with tr nil — standalone, solely to feed
+// the System's always-on EngineMetrics — which costs a handful of
+// time.Now calls on an operation that chases and solves a whole model.
+func (sm *snapModel) get(s *Snapshot, tok *cancel.Token, tr *trace.Span) (*core.Model, error) {
+	if sm.done.Load() {
+		return sm.m, nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.done.Load() {
+		return sm.m, nil
+	}
+	build := tr.Child("build-depth-" + strconv.Itoa(sm.depth))
+	if build == nil {
+		build = trace.New("build-depth-" + strconv.Itoa(sm.depth))
+	}
+	rebased := false
+	var m *core.Model
+	if rm := sm.rebase(s, tok, build); rm != nil {
+		rebased = true
+		m = rm
+	} else if sm.prev != nil {
+		// Chained rung: continue the previous rung's chase on an
+		// overlay over its (frozen) store. IDs carry over, so the
+		// extended chase and grounding append to frozen state
+		// without touching it.
+		pm, err := sm.prev.get(s, tok, tr)
+		if err != nil {
+			build.MarkCancelled()
 			build.End()
-			s.metrics.observeBuild(build, rebased)
-		}()
-		if m := sm.rebase(s, build); m != nil {
-			rebased = true
-			sm.m = m
-			return
+			return nil, err
 		}
-		var m *core.Model
-		if sm.prev != nil {
-			// Chained rung: continue the previous rung's chase on an
-			// overlay over its (frozen) store. IDs carry over, so the
-			// extended chase and grounding append to frozen state
-			// without touching it.
-			pm := sm.prev.get(s, tr)
-			ost := atom.NewOverlay(pm.Chase.Prog.Store)
-			m = core.ExtendModelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, build)
-			ost.Freeze()
-		} else {
-			ost := atom.NewOverlay(s.store)
-			eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
-			m = eng.EvaluateAtDepthTraced(sm.depth, build)
-			ost.Freeze()
-		}
-		endPre := build.Phase("precompute")
-		m.Precompute()
-		endPre()
-		sm.m = m
-	})
-	return sm.m
+		ost := atom.NewOverlay(pm.Chase.Prog.Store)
+		m = core.ExtendModelCancelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, tok, build)
+		ost.Freeze()
+	} else {
+		ost := atom.NewOverlay(s.store)
+		eng := core.NewEngine(s.prog.WithStore(ost), s.db, s.opts)
+		m = eng.EvaluateAtDepthCancelTraced(sm.depth, tok, build)
+		ost.Freeze()
+	}
+	if m.Interrupted {
+		build.MarkCancelled()
+		build.End()
+		return nil, cancelErr(tok)
+	}
+	endPre := build.Phase("precompute")
+	m.Precompute()
+	endPre()
+	sm.m = m
+	sm.reb.Store(nil) // release the previous-epoch chain
+	sm.done.Store(true)
+	build.End()
+	s.metrics.observeBuild(build, rebased)
+	return sm.m, nil
 }
 
 // rebase carries the nearest already-materialized same-depth rung of an
@@ -155,8 +176,9 @@ func (sm *snapModel) get(s *Snapshot, tr *trace.Span) *core.Model {
 // that materializes mid-walk may have just cleared its own reb link; the
 // walk then simply ends and get falls back to a fresh build.) Returns
 // nil when no rebase source exists, leaving get on its fresh-build
-// paths.
-func (sm *snapModel) rebase(s *Snapshot, tr *trace.Span) *core.Model {
+// paths; an interrupted rebase surfaces through the returned model's
+// Interrupted flag, which get converts to the token's cause.
+func (sm *snapModel) rebase(s *Snapshot, tok *cancel.Token, tr *trace.Span) *core.Model {
 	for r := sm.reb.Load(); r != nil; r = r.reb.Load() {
 		if !r.done.Load() || r.m == nil || sm.depth != r.depth {
 			continue
@@ -171,14 +193,22 @@ func (sm *snapModel) rebase(s *Snapshot, tr *trace.Span) *core.Model {
 		if !ok {
 			return nil
 		}
-		m := core.RebaseModelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, db, tr)
+		m := core.RebaseModelCancelTraced(pm, s.prog.WithStore(ost), s.opts, sm.depth, db, tok, tr)
 		ost.Freeze()
-		endPre := tr.Phase("precompute")
-		m.Precompute()
-		endPre()
 		return m
 	}
 	return nil
+}
+
+// cancelErr is the error a cancelled evaluation surfaces: the token's
+// recorded cause (context.DeadlineExceeded for a blown deadline,
+// context.Canceled for a disconnect or manual cancel), falling back to
+// context.Canceled when an interrupted model arrives without a cause.
+func cancelErr(tok *cancel.Token) error {
+	if err := tok.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // translateDB maps the snapshot's database — interned in the current
@@ -319,8 +349,11 @@ func queryWithin(cq *program.Query, maxPred, maxTerm int) bool {
 // each depth resolves to a model built at most once per snapshot.
 // compile resolves the query against each rung's ID space; tr (nil on
 // the hot path) records the per-depth phase breakdown.
-func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error), tr *trace.Span) (Truth, *core.AnswerStats, error) {
-	return core.AdaptiveAnswerTraced(s.opts, s.rungAt, compile, tr)
+func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error), tok *cancel.Token, tr *trace.Span) (Truth, *core.AnswerStats, error) {
+	modelAt := func(depth int, tr *trace.Span) (*core.Model, error) {
+		return s.rungAt(depth, tok, tr)
+	}
+	return core.AdaptiveAnswerCancelTraced(s.opts, modelAt, compile, tok, tr)
 }
 
 // rungAt returns (building if necessary) the ladder model at the given
@@ -331,7 +364,7 @@ func (s *Snapshot) answerLadder(compile func(*core.Model) (*program.Query, error
 // panic, so it can never crash a serving process. tr, when non-nil,
 // receives the rung's build phase tree — or only the wait, if another
 // goroutine is mid-build (the sync.Once winner records the work).
-func (s *Snapshot) rungAt(depth int, tr *trace.Span) (*core.Model, error) {
+func (s *Snapshot) rungAt(depth int, tok *cancel.Token, tr *trace.Span) (*core.Model, error) {
 	if len(s.rungs) == 0 || s.opts.AdaptiveStep <= 0 {
 		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (empty ladder)", depth)
 	}
@@ -340,7 +373,7 @@ func (s *Snapshot) rungAt(depth int, tr *trace.Span) (*core.Model, error) {
 		return nil, fmt.Errorf("wfs: no snapshot rung at depth %d (schedule start %d step %d × %d rungs)",
 			depth, s.opts.AdaptiveStart, s.opts.AdaptiveStep, len(s.rungs))
 	}
-	return s.rungs[i].get(s, tr), nil
+	return s.rungs[i].get(s, tok, tr)
 }
 
 // Answer evaluates a prepared NBCQ by adaptive deepening and returns the
@@ -354,7 +387,102 @@ func (s *Snapshot) Answer(q *Query) (Truth, error) {
 func (s *Snapshot) AnswerWithStats(q *Query) (Truth, *core.AnswerStats, error) {
 	return s.answerLadder(func(m *core.Model) (*program.Query, error) {
 		return s.compileFor(q, m)
-	}, nil)
+	}, nil, nil)
+}
+
+// AnswerCtx is Answer under a context: the evaluation polls ctx's
+// cancellation cooperatively (every ~1024 chase steps, every SCC of the
+// fixpoint, every rung of the ladder) and returns ctx's error —
+// context.DeadlineExceeded or context.Canceled — when it fires. A
+// cancelled build installs nothing: the rung stays cold and later
+// callers rebuild it. An uncancellable ctx (context.Background) costs
+// one nil check per poll point.
+func (s *Snapshot) AnswerCtx(ctx context.Context, q *Query) (Truth, error) {
+	t, _, err := s.AnswerCtxStats(ctx, q)
+	return t, err
+}
+
+// answerWarmExact answers q from the first ladder rung alone, when that
+// rung is already materialized and its model is exact — the steady
+// state of every warm snapshot of a terminating program, and the shape
+// the server's cache-miss path hits on almost all traffic. In that
+// state the ladder would return at its first rung anyway, so this path
+// produces byte-identical answers and stats; what it skips is the
+// per-call cancellation plumbing (token acquisition, option
+// revalidation), which on a sub-microsecond warm answer costs more than
+// the answer itself. ok=false (cold first rung, inexact model, or a
+// query that fails to compile) falls back to the full token-carrying
+// ladder, which re-encounters and properly reports any error.
+func (s *Snapshot) answerWarmExact(q *Query) (Truth, *core.AnswerStats, bool) {
+	if len(s.rungs) == 0 {
+		return False, nil, false
+	}
+	sm := s.rungs[0]
+	if !sm.done.Load() {
+		return False, nil, false
+	}
+	m := sm.m
+	if !m.Exact {
+		return False, nil, false
+	}
+	cq, err := s.compileFor(q, m)
+	if err != nil {
+		return False, nil, false
+	}
+	ans := m.Answer(cq)
+	return ans, &core.AnswerStats{
+		Depths:     []int{sm.depth},
+		Answers:    []Truth{ans},
+		FinalDepth: sm.depth,
+		Exact:      true,
+		Stable:     true,
+	}, true
+}
+
+// AnswerCtxStats is AnswerCtx returning the adaptive-deepening stats.
+// On cancellation the stats of the rungs that completed before the
+// deadline are returned alongside the error, so callers opting into
+// graceful degradation can serve the deepest completed rung's answer
+// (marked inexact) instead of nothing.
+func (s *Snapshot) AnswerCtxStats(ctx context.Context, q *Query) (Truth, *core.AnswerStats, error) {
+	// One lock-free poll up front keeps the contract that an
+	// already-cancelled context never starts an evaluation, then the
+	// warm-exact fast path answers without acquiring a token at all —
+	// a warm exact answer cannot outlive any deadline worth setting.
+	if done := ctx.Done(); done != nil {
+		select {
+		case <-done:
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			return False, nil, err
+		default:
+		}
+	}
+	if t, st, ok := s.answerWarmExact(q); ok {
+		return t, st, nil
+	}
+	tok := cancel.For(ctx)
+	t, st, err := s.answerLadder(func(m *core.Model) (*program.Query, error) {
+		return s.compileFor(q, m)
+	}, tok, nil)
+	// The ladder has returned: every rung build ran synchronously under
+	// its rung lock and every solver worker was joined, so nothing can
+	// still poll the token — recycle it (it is a measurable share of the
+	// warm answer path's cost).
+	tok.Release()
+	return t, st, err
+}
+
+// AnswerCtxTraced is AnswerCtx recording the evaluation's phase tree
+// under the caller's already-open span (see AnswerTraced). Spans cut
+// short by cancellation carry a "cancelled" counter.
+func (s *Snapshot) AnswerCtxTraced(ctx context.Context, q *Query, root *trace.Span) (Truth, *core.AnswerStats, error) {
+	tok := cancel.For(ctx)
+	t, st, err := s.answerCancelTraced(q, tok, root)
+	tok.Release() // see AnswerCtxStats: no reference survives the ladder
+	return t, st, err
 }
 
 // TraceAnswer is Answer recording a detailed evaluation trace (see
@@ -395,11 +523,11 @@ func (s *Snapshot) AnswerTraced(q *Query, root *trace.Span) (Truth, *core.Answer
 // the next reader; models that were cold before the mutation stay cold.
 func (s *Snapshot) WarmRebased(tr *trace.Span) {
 	if r := s.base.reb.Load(); r != nil && r.done.Load() {
-		s.base.get(s, tr)
+		s.base.get(s, nil, tr)
 	}
 	for _, sm := range s.rungs {
 		if r := sm.reb.Load(); r != nil && r.done.Load() {
-			sm.get(s, tr)
+			sm.get(s, nil, tr)
 		}
 	}
 }
@@ -408,10 +536,15 @@ func (s *Snapshot) WarmRebased(tr *trace.Span) {
 // (shared with System.TraceAnswer, whose root also covers parse and
 // snapshot acquisition).
 func (s *Snapshot) answerTraced(q *Query, root *trace.Span) (Truth, *core.AnswerStats, error) {
+	return s.answerCancelTraced(q, nil, root)
+}
+
+// answerCancelTraced is answerTraced under a cancellation token.
+func (s *Snapshot) answerCancelTraced(q *Query, tok *cancel.Token, root *trace.Span) (Truth, *core.AnswerStats, error) {
 	ladder := root.Child("ladder")
 	t, st, err := s.answerLadder(func(m *core.Model) (*program.Query, error) {
 		return s.compileFor(q, m)
-	}, ladder)
+	}, tok, ladder)
 	ladder.End()
 	return t, st, err
 }
@@ -420,7 +553,7 @@ func (s *Snapshot) answerTraced(q *Query, root *trace.Span) (Truth, *core.Answer
 // the system's root store (embedded '?' queries). Such queries reference
 // only pre-snapshot IDs, valid against every model.
 func (s *Snapshot) answerCompiled(cq *program.Query) (Truth, error) {
-	t, _, err := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil }, nil)
+	t, _, err := s.answerLadder(func(*core.Model) (*program.Query, error) { return cq, nil }, nil, nil)
 	return t, err
 }
 
@@ -442,7 +575,7 @@ func (s *Snapshot) AnswerAll() []QueryResult {
 // first return lists the variable names. Selection runs against the model
 // at the configured depth.
 func (s *Snapshot) Select(q *Query) ([]string, [][]string, error) {
-	m := s.base.get(s, nil)
+	m, _ := s.base.get(s, nil, nil)
 	cq, err := s.compileFor(q, m)
 	if err != nil {
 		return nil, nil, err
@@ -478,7 +611,7 @@ func (s *Snapshot) groundAtom(m *core.Model, src string) (atom.AtomID, *atom.Sto
 // TruthOf returns the truth of a ground atom written in surface syntax,
 // e.g. TruthOf("win(a)"), in the configured-depth model.
 func (s *Snapshot) TruthOf(atomSrc string) (Truth, error) {
-	m := s.base.get(s, nil)
+	m, _ := s.base.get(s, nil, nil)
 	a, _, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return False, err
@@ -491,7 +624,7 @@ func (s *Snapshot) TruthOf(atomSrc string) (Truth, error) {
 // have forward proofs); the error reports malformed input. The two are
 // distinct: a parse failure is an error, not "false".
 func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
-	m := s.base.get(s, nil)
+	m, _ := s.base.get(s, nil, nil)
 	a, ost, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return "", false, err
@@ -506,7 +639,7 @@ func (s *Snapshot) Explain(atomSrc string) (string, bool, error) {
 
 // WCheck runs the goal-directed membership check on a ground atom.
 func (s *Snapshot) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
-	m := s.base.get(s, nil)
+	m, _ := s.base.get(s, nil, nil)
 	a, _, err := s.groundAtom(m, atomSrc)
 	if err != nil {
 		return False, nil, err
@@ -518,7 +651,8 @@ func (s *Snapshot) WCheck(atomSrc string) (Truth, *core.WCheckStats, error) {
 // CheckConstraints evaluates the program's negative constraints and EGDs
 // against the configured-depth model.
 func (s *Snapshot) CheckConstraints() []core.Violation {
-	return s.base.get(s, nil).CheckConstraints()
+	m, _ := s.base.get(s, nil, nil)
+	return m.CheckConstraints()
 }
 
 // TrueFacts renders all true atoms of the model, sorted.
@@ -535,7 +669,7 @@ func (s *Snapshot) UndefinedFacts() []string { return s.renderFacts(ground.Undef
 // system lock is held — and preallocates the output from a filtered count
 // so rendering large models does not repeatedly regrow the slice.
 func (s *Snapshot) renderFacts(tv Truth) []string {
-	m := s.base.get(s, nil)
+	m, _ := s.base.get(s, nil, nil)
 	st := m.Chase.Prog.Store
 	usable := func(g atom.AtomID) bool {
 		return m.UsableDepth < 0 || m.Chase.Depth(g) <= m.UsableDepth
@@ -560,7 +694,7 @@ func (s *Snapshot) renderFacts(tv Truth) []string {
 // once per snapshot and cached; concurrent callers share it.
 func (s *Snapshot) Stats() Stats {
 	s.statsOnce.Do(func() {
-		m := s.base.get(s, nil)
+		m, _ := s.base.get(s, nil, nil)
 		_, strat := s.prog.Stratify()
 		delta := core.DeltaForSchema(s.store)
 		s.stats = Stats{

@@ -79,7 +79,7 @@ func TestSnapshotRungsMatchFromScratch(t *testing.T) {
 	}
 	opts := snap.opts
 	for d := opts.AdaptiveStart; d <= opts.MaxDepth && d <= opts.AdaptiveStart+3*opts.AdaptiveStep; d += opts.AdaptiveStep {
-		rm, err := snap.rungAt(d, nil)
+		rm, err := snap.rungAt(d, nil, nil)
 		if err != nil {
 			t.Fatalf("rungAt(%d): %v", d, err)
 		}
@@ -124,11 +124,11 @@ func TestRungAtOffScheduleError(t *testing.T) {
 	}
 	snap, _ := sys.Snapshot()
 	for _, d := range []int{-1, 0, 3, 5, 999} { // schedule is 4,6,…,24
-		if _, err := snap.rungAt(d, nil); err == nil {
+		if _, err := snap.rungAt(d, nil, nil); err == nil {
 			t.Errorf("rungAt(%d) did not error", d)
 		}
 	}
-	if m, err := snap.rungAt(4, nil); err != nil || m == nil {
+	if m, err := snap.rungAt(4, nil, nil); err != nil || m == nil {
 		t.Errorf("rungAt(4) = %v, %v; want a model", m, err)
 	}
 }

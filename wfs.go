@@ -57,6 +57,7 @@
 package wfs
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -85,6 +86,19 @@ const (
 // Options re-exports the engine options (chase depth, algorithm choice,
 // adaptive-deepening and guard-band parameters).
 type Options = core.Options
+
+// ErrBudgetExceeded re-exports the structured resource-budget error: an
+// answer-shaped evaluation whose chase hit the Options.MaxAtoms safety
+// valve returns *ErrBudgetExceeded (carrying the atom count and the
+// limit) instead of silently answering over a truncated model. Match it
+// with errors.As:
+//
+//	var be *wfs.ErrBudgetExceeded
+//	if errors.As(err, &be) { … be.Atoms, be.Limit … }
+//
+// Introspection paths (Stats, TrueFacts, CheckConstraints) still serve
+// the truncated model — the truncation is visible in ModelStats.
+type ErrBudgetExceeded = core.ErrBudgetExceeded
 
 // System bundles a compiled guarded normal Datalog± program, its database,
 // and the machinery to evaluate them: a mutable master store that writes
@@ -320,6 +334,17 @@ func (s *System) Answer(query string) (Truth, error) {
 		return False, err
 	}
 	return s.snapshot().Answer(q)
+}
+
+// AnswerCtx is Answer under a context: evaluation polls ctx
+// cooperatively and returns its error (context.DeadlineExceeded or
+// context.Canceled) when it fires — see Snapshot.AnswerCtx.
+func (s *System) AnswerCtx(ctx context.Context, query string) (Truth, error) {
+	q, err := Prepare(query)
+	if err != nil {
+		return False, err
+	}
+	return s.snapshot().AnswerCtx(ctx, q)
 }
 
 // AnswerWithStats is Answer returning the adaptive-deepening trace.
